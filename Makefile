@@ -1,0 +1,32 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-fast examples report clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" -x
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	REPRO_BENCH_SCALE=0.2 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done
+
+report:
+	rm -f bench_report.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	@echo "tables written to bench_report.txt"
+
+clean:
+	rm -rf .pytest_cache .hypothesis bench_report.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

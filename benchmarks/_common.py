@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper (see
+DESIGN.md's per-experiment index) and prints it, so the
+``pytest benchmarks/ --benchmark-only`` output is the reproduction
+record. ``REPRO_BENCH_SCALE`` (default 1.0) scales sample counts: set it
+above 1 for tighter statistics, below 1 for a faster smoke run.
+
+Result blocks are written to the *real* stdout (bypassing pytest's
+capture, so they appear without ``-s``) and appended to the report file
+named by ``REPRO_BENCH_REPORT`` (default ``bench_report.txt`` in the
+working directory).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["scaled", "print_block"]
+
+
+def scaled(base: int, minimum: int = 1) -> int:
+    """Scale a sample count by ``REPRO_BENCH_SCALE``."""
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return max(minimum, int(round(base * factor)))
+
+
+def print_block(title: str, body: str) -> None:
+    """Emit a delimited result block to the real stdout and the report file."""
+    bar = "=" * 72
+    block = f"\n{bar}\n{title}\n{bar}\n{body}\n"
+    stream = getattr(sys, "__stdout__", None) or sys.stdout
+    stream.write(block)
+    stream.flush()
+    report_path = os.environ.get("REPRO_BENCH_REPORT", "bench_report.txt")
+    if report_path:
+        with open(report_path, "a", encoding="utf-8") as report:
+            report.write(block)

@@ -1,0 +1,91 @@
+"""Noise ablation (§3: "all quantum technologies operate with an error
+margin, which system designs must account for").
+
+Sweeps Werner-state fidelity: CHSH win probability degrades linearly,
+the advantage threshold sits at F ~= 0.78, and the Fig 4 queue-length
+benefit erodes with fidelity and vanishes below the threshold.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import FigureData, format_figure, format_table
+from repro.games import CHSH_CLASSICAL_VALUE, chsh_win_probability_for_state
+from repro.hardware import required_fidelity_for_advantage
+from repro.lb import (
+    CHSHPairedAssignment,
+    RandomAssignment,
+    run_timestep_simulation,
+)
+from repro.quantum import werner_state
+
+FIDELITIES = (1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6, 0.5)
+
+
+def bench_chsh_vs_fidelity(benchmark):
+    wins = [
+        chsh_win_probability_for_state(werner_state(f)) for f in FIDELITIES
+    ]
+    threshold = required_fidelity_for_advantage()
+    figure = FigureData(
+        title="CHSH win probability vs Werner fidelity (paper angles)",
+        x_label="Werner fidelity F",
+        y_label="win probability",
+    )
+    figure.add("quantum", FIDELITIES, wins)
+    figure.add("classical bound", FIDELITIES, [CHSH_CLASSICAL_VALUE] * len(FIDELITIES))
+    body = format_figure(figure, float_format="{:.4f}")
+    body += f"\nadvantage threshold: F > {threshold:.4f}"
+    print_block("Ablation — CHSH vs entanglement fidelity", body)
+
+    for f, win in zip(FIDELITIES, wins):
+        if f > threshold + 0.01:
+            assert win > CHSH_CLASSICAL_VALUE
+        if f < threshold - 0.01:
+            assert win < CHSH_CLASSICAL_VALUE
+
+    benchmark(
+        lambda: chsh_win_probability_for_state(werner_state(0.9))
+    )
+
+
+def bench_queueing_vs_fidelity(benchmark):
+    """End-to-end: Fig 4 queue lengths at the knee as hardware degrades."""
+    num_balancers, num_servers = 100, 80
+    timesteps = scaled(600)
+    classical = run_timestep_simulation(
+        RandomAssignment(num_balancers, num_servers),
+        timesteps=timesteps,
+        seed=13,
+    )
+    sweep_fidelities = (1.0, 0.9, 0.8, 0.7)
+    rows = []
+    improvements = {}
+    for fidelity in sweep_fidelities:
+        policy = CHSHPairedAssignment(
+            num_balancers, num_servers, state=werner_state(fidelity)
+        )
+        result = run_timestep_simulation(policy, timesteps=timesteps, seed=13)
+        improvement = 1.0 - result.mean_queue_length / classical.mean_queue_length
+        improvements[fidelity] = improvement
+        rows.append([fidelity, result.mean_queue_length, improvement])
+
+    body = format_table(
+        ["Werner fidelity", "quantum queue", "improvement vs random"],
+        rows,
+        title=f"Fig 4 at load 1.25 vs entanglement fidelity "
+        f"(classical random queue = {classical.mean_queue_length:.3f})",
+    )
+    print_block("Ablation — end-to-end noise sensitivity", body)
+
+    assert improvements[1.0] > improvements[0.7], (
+        "better hardware must give a larger systems-level benefit"
+    )
+    assert improvements[1.0] > 0.05
+
+    policy = CHSHPairedAssignment(40, 32, state=werner_state(0.9))
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(policy, timesteps=100, seed=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,57 @@
+"""Design ablation (DESIGN.md §5): per-round server-pair selection.
+
+The CHSH policy draws a fresh random server pair for each balancer pair
+every round. The alternative — sticky pairs that keep their first draw —
+is cheaper in shared randomness but catastrophic for load spread: with
+N/2 pairs choosing from M servers once, coupon-collector gaps leave
+servers permanently idle and the chosen ones permanently overloaded.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import format_table
+from repro.games.chsh import colocation_quantum_strategy
+from repro.lb import RandomAssignment, run_timestep_simulation
+from repro.lb.policies import GamePairedAssignment
+
+
+def bench_pair_selection_policy(benchmark):
+    n, m = 60, 48
+    timesteps = scaled(600)
+    strategy = colocation_quantum_strategy()
+    rows = []
+    results = {}
+    for label, policy in (
+        ("fresh pair per round", GamePairedAssignment(n, m, strategy)),
+        (
+            "sticky pairs",
+            GamePairedAssignment(n, m, strategy, sticky_servers=True),
+        ),
+        ("random baseline", RandomAssignment(n, m)),
+    ):
+        result = run_timestep_simulation(policy, timesteps=timesteps, seed=3)
+        results[label] = result.mean_queue_length
+        rows.append([label, result.mean_queue_length])
+
+    body = format_table(
+        ["pair-selection policy", "mean queue length"],
+        rows,
+        title=f"CHSH pairs at load 1.25 (N={n}, M={m}, {timesteps} steps)",
+    )
+    body += (
+        "\nsticky pairs strand servers (coupon-collector gaps) and erase"
+        "\nthe quantum benefit entirely — the per-round redraw is load-"
+        "\nbearing, not incidental"
+    )
+    print_block("Ablation — server-pair selection", body)
+
+    assert results["fresh pair per round"] < results["random baseline"]
+    assert results["sticky pairs"] > results["random baseline"]
+
+    small = GamePairedAssignment(20, 16, strategy, sticky_servers=True)
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(small, timesteps=100, seed=1),
+        rounds=3,
+        iterations=1,
+    )

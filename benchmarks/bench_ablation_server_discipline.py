@@ -1,0 +1,100 @@
+"""Footnote 2 ablation: sensitivity of the Fig 4 advantage to the server
+execution strategy.
+
+The paper's footnote claims the advantage "is robust to other server
+execution strategies". Our reproduction refines that: the advantage is
+robust across disciplines that *reward colocation* (the paper's rule and
+FIFO-with-batching behave comparably at their knees), but a fully serial
+server — where two colocated type-C tasks gain nothing — erases and even
+inverts the benefit, because CHSH pairs then deliberately concentrate
+load. The boundary is part of the reproduction record (EXPERIMENTS.md).
+
+Each discipline is evaluated near its own knee (their service capacities
+differ, so a single load would compare an overloaded system to an idle
+one).
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import format_table
+from repro.lb import (
+    CHSHPairedAssignment,
+    RandomAssignment,
+    run_timestep_simulation,
+)
+
+#: Load near each discipline's knee (capacity: paper ~4/3, fifo ~1.2,
+#: serial = 1 task/step).
+KNEE_LOADS = {"paper": 1.25, "fifo": 1.05, "serial": 0.85}
+
+
+def bench_discipline_sensitivity(benchmark):
+    num_balancers = 100
+    timesteps = scaled(700)
+    rows = []
+    improvements = {}
+    for discipline, load in sorted(KNEE_LOADS.items()):
+        num_servers = round(num_balancers / load)
+        classical = run_timestep_simulation(
+            RandomAssignment(num_balancers, num_servers),
+            timesteps=timesteps,
+            seed=7,
+            discipline=discipline,
+        )
+        quantum = run_timestep_simulation(
+            CHSHPairedAssignment(num_balancers, num_servers),
+            timesteps=timesteps,
+            seed=7,
+            discipline=discipline,
+        )
+        improvement = 1.0 - (
+            quantum.mean_queue_length / max(classical.mean_queue_length, 1e-12)
+        )
+        improvements[discipline] = improvement
+        rows.append(
+            [
+                discipline,
+                load,
+                classical.mean_queue_length,
+                quantum.mean_queue_length,
+                improvement,
+            ]
+        )
+
+    body = format_table(
+        [
+            "discipline",
+            "load N/M",
+            "classical queue",
+            "quantum queue",
+            "improvement",
+        ],
+        rows,
+        title=f"Quantum improvement near each discipline's knee "
+        f"(N={num_balancers}, {timesteps} steps)",
+    )
+    body += (
+        "\nfinding: the advantage needs a discipline that rewards "
+        "colocation; a fully serial server inverts it (colocated pairs "
+        "just queue behind each other)"
+    )
+    print_block("Ablation — server execution strategy", body)
+
+    # The paper's discipline shows the headline advantage.
+    assert improvements["paper"] > 0.05
+    # FIFO (adjacent-C batching) keeps the advantage within noise of zero
+    # or better; it must not collapse to the serial regime.
+    assert improvements["fifo"] > -0.15
+    # Serial service erases the colocation benefit: the inversion is the
+    # documented boundary of footnote 2's claim in this model.
+    assert improvements["serial"] < 0.05
+
+    policy = RandomAssignment(50, 40)
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(
+            policy, timesteps=100, seed=1, discipline="fifo"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,73 @@
+"""Extension: workload-matched CHSH operators for skewed task mixes.
+
+The paper's simulation fixes P(type-C) = 0.5. This extension (built on
+the biased-non-local-game theory the paper cites [38]) asks what happens
+for skewed workloads: the induced colocation game becomes a *biased*
+CHSH game, its quantum value follows from the same Tsirelson SDP, and
+the optimal measurement operators depend on the bias.
+
+Findings regenerated here:
+
+- the quantum advantage of the colocation game peaks at p = 0.5
+  (+0.1036) and vanishes by |p - 0.5| >= 0.2 — skewed mixes are
+  classically easy;
+- away from p = 0.5 the paper's fixed angles fall *below* the classical
+  value, while the matched operators never do.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block
+from repro.analysis import format_table
+from repro.games import exact_win_probability
+from repro.games.biased import (
+    biased_colocation_game,
+    biased_game_values,
+    matched_quantum_strategy,
+)
+from repro.games.chsh import colocation_quantum_strategy
+
+BIASES = (0.3, 0.4, 0.45, 0.5, 0.55, 0.6, 0.7, 0.8)
+
+
+def bench_biased_workload_values(benchmark):
+    fixed_strategy = colocation_quantum_strategy()
+    rows = []
+    for p in BIASES:
+        value = biased_game_values(p)
+        game = biased_colocation_game(p).to_two_player_game()
+        fixed = exact_win_probability(game, fixed_strategy)
+        matched = exact_win_probability(game, matched_quantum_strategy(p))
+        rows.append(
+            [p, value.classical_value, fixed, matched, value.advantage]
+        )
+        # The matched strategy achieves the SDP optimum...
+        assert matched >= value.quantum_value - 1e-5
+        # ...and never falls below classical.
+        assert matched >= value.classical_value - 1e-5
+
+    body = format_table(
+        [
+            "P(type-C)",
+            "classical",
+            "fixed CHSH angles",
+            "matched operators",
+            "quantum advantage",
+        ],
+        rows,
+        title="Biased colocation game: win probabilities vs workload skew",
+        float_format="{:.4f}",
+    )
+    body += (
+        "\nfinding: the advantage peaks at p=0.5 and dies by |p-0.5|>=0.2;"
+        "\nfixed angles are actively harmful under skew — QNIC bases must"
+        "\nbe provisioned per workload"
+    )
+    print_block("Extension — biased workloads", body)
+
+    by_bias = {row[0]: row for row in rows}
+    assert by_bias[0.5][4] > by_bias[0.4][4] > by_bias[0.3][4] - 1e-9
+    # Fixed angles fall below classical under strong skew.
+    assert by_bias[0.8][2] < by_bias[0.8][1]
+
+    benchmark(lambda: biased_game_values(0.4))

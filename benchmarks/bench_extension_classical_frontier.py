@@ -1,0 +1,122 @@
+"""Extension: where exactly does quantum expand the Pareto frontier?
+
+The paper's Fig 4 compares quantum pairs against *uniform random*
+assignment. The classical colocation game has two distinct optimal
+strategies with very different queueing value:
+
+- split-always (never colocate; loses only the CC case) — the fairest
+  game-theoretic baseline, but worthless for batching;
+- same-type-colocate (perfect CC batching at the price of a guaranteed
+  EE collision) — the strongest classical baseline for the queueing
+  objective.
+
+This bench maps all of them against the CHSH policy across loads. The
+refined claim: quantum pairs dominate every classical policy at
+moderate loads (around and below the classical knee), while in deep
+overload the deterministic work-maximizer catches up — total work saved
+is all that matters once every queue is long.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import FigureData, format_figure
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    OmniscientAssignment,
+    RandomAssignment,
+    SameTypePairedAssignment,
+    WeightedCHSHPairedAssignment,
+    sweep_load,
+)
+
+LOADS = (0.75, 0.9, 1.0, 1.1, 1.25, 1.5)
+
+
+def bench_classical_frontier(benchmark):
+    num_balancers = 100
+    timesteps = scaled(800)
+    factories = {
+        "random": RandomAssignment,
+        "split-always pairs": ClassicalPairedAssignment,
+        "same-type-colocate pairs": SameTypePairedAssignment,
+        "quantum CHSH pairs": CHSHPairedAssignment,
+        "quantum weighted pairs": WeightedCHSHPairedAssignment,
+        "omniscient oracle (bound)": OmniscientAssignment,
+    }
+    figure = FigureData(
+        title=f"Queue length vs load for the full classical frontier "
+        f"(N={num_balancers}, {timesteps} steps)",
+        x_label="load N/M",
+        y_label="mean queue length",
+    )
+    curves = {}
+    for name, factory in factories.items():
+        points = sweep_load(
+            factory,
+            num_balancers=num_balancers,
+            loads=LOADS,
+            timesteps=timesteps,
+            seed=31,
+        )
+        curves[name] = {
+            nominal: p.result.mean_queue_length
+            for nominal, p in zip(LOADS, points)
+        }
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+    body = format_figure(figure)
+    oracle = curves["omniscient oracle (bound)"]
+    quantum_curve = curves["quantum CHSH pairs"]
+    random_curve = curves["random"]
+    gap_lines = []
+    for load in (1.0, 1.1, 1.25):
+        gap = random_curve[load] - oracle[load]
+        closed = (random_curve[load] - quantum_curve[load]) / gap if gap > 0 else 0.0
+        gap_lines.append(f"load {load}: {closed:.0%}")
+    body += (
+        "\nfinding: quantum dominates ALL legal (no-communication)"
+        "\npolicies at moderate loads; the deterministic work-maximizer"
+        "\n(same-type-colocate) catches up only in deep overload."
+        "\nfraction of the full coordination gap (random -> omniscient)"
+        "\nclosed by quantum, with zero communication: "
+        + ", ".join(gap_lines)
+    )
+    print_block("Extension — classical frontier vs quantum", body)
+
+    quantum = curves["quantum CHSH pairs"]
+    same_type = curves["same-type-colocate pairs"]
+    random_ = curves["random"]
+    split = curves["split-always pairs"]
+    # Moderate loads: quantum beats every legal classical policy.
+    for load in (1.0, 1.1):
+        assert quantum[load] < same_type[load]
+        assert quantum[load] < random_[load]
+        assert quantum[load] < split[load]
+    # Deep overload: the work-maximizer is competitive (within 20%)
+    # against *plain* CHSH...
+    assert same_type[1.5] < quantum[1.5] * 1.2
+    # ...but the utility-weighted quantum operators beat every legal
+    # policy at all loads >= 1.0, including deep overload.
+    weighted = curves["quantum weighted pairs"]
+    for load in (1.0, 1.1, 1.25, 1.5):
+        assert weighted[load] <= same_type[load] + 1e-9
+        assert weighted[load] <= random_[load] + 1e-9
+        assert weighted[load] <= split[load] + 1e-9
+    # The oracle bound dominates everything (it cheats).
+    oracle_curve = curves["omniscient oracle (bound)"]
+    for load in LOADS:
+        assert oracle_curve[load] <= quantum[load] + 1e-9
+
+    policy = SameTypePairedAssignment(40, 32)
+    from repro.lb import run_timestep_simulation
+
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(policy, timesteps=100, seed=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,49 @@
+"""Extension: utility-weighted colocation games.
+
+The classical-frontier bench shows the queueing objective values the CC
+case (work saving) far above the EE case (imbalance avoidance). This
+bench reweights the colocation game accordingly and asks the Tsirelson
+SDP how much advantage survives: the gap decays roughly like the
+inverse CC weight but remains strictly positive — entanglement keeps
+paying, just less, as colocation dominates the utility.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block
+from repro.analysis import format_table
+from repro.games.weighted import advantage_boundary_cc_weight, weighted_values
+
+CC_WEIGHTS = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def bench_weighted_advantage_decay(benchmark):
+    rows = []
+    advantages = []
+    for cc in CC_WEIGHTS:
+        value = weighted_values(0.5, cc_weight=cc)
+        advantages.append(value.advantage)
+        rows.append(
+            [cc, value.classical_value, value.quantum_value, value.advantage]
+        )
+    boundary = advantage_boundary_cc_weight(0.5, threshold=0.02, hi=32.0)
+    body = format_table(
+        ["CC utility weight", "classical", "quantum", "advantage"],
+        rows,
+        title="Weighted colocation game (p=0.5): expected-utility values",
+        float_format="{:.4f}",
+    )
+    body += (
+        f"\nadvantage stays positive at every weight; it falls below 0.02 "
+        f"at cc_weight ~ {boundary:.1f}"
+        "\ninterpretation: the more the system's utility concentrates on "
+        "CC batching, \nthe closer the deterministic colocate strategy "
+        "gets to optimal — but never equal"
+    )
+    print_block("Extension — utility-weighted colocation games", body)
+
+    assert advantages == sorted(advantages, reverse=True)
+    assert all(a > 0 for a in advantages)
+    assert 4.0 < boundary <= 32.0
+
+    benchmark(lambda: weighted_values(0.5, cc_weight=4.0))

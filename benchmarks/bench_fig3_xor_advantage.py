@@ -1,0 +1,79 @@
+"""Fig 3 reproduction: probability a random 5-vertex XOR game has a
+quantum advantage, vs the probability that an edge is exclusive.
+
+Paper claims (Fig 3 + §4.1): the curve vanishes at the extremes, most
+randomly labeled graphs in the middle exhibit a quantum advantage, and
+the advantage probability increases with the number of vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import FigureData, format_figure
+from repro.games import (
+    advantage_probability,
+    random_affinity_graph,
+    xor_game_from_graph,
+    xor_quantum_value,
+)
+
+
+def bench_fig3_advantage_curve(benchmark):
+    games_per_point = scaled(40)
+    p_values = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    rng = np.random.default_rng(42)
+    probabilities = [
+        advantage_probability(5, p, games_per_point, rng)
+        for p in p_values
+    ]
+
+    figure = FigureData(
+        title=f"Fig 3: P(quantum advantage), 5-vertex graphs, "
+        f"{games_per_point} games/point",
+        x_label="P(edge exclusive)",
+        y_label="P(quantum advantage)",
+    )
+    figure.add("5 vertices", p_values, probabilities)
+    print_block("Fig 3 — XOR-game advantage probability", format_figure(figure))
+
+    # Shape assertions from the paper's figure.
+    assert probabilities[0] == 0.0, "all-colocate games are classical-perfect"
+    assert max(probabilities[3:8]) > 0.4, "most mid-range graphs show advantage"
+
+    # Timed kernel: one full classical+quantum value computation.
+    kernel_rng = np.random.default_rng(7)
+    graph = random_affinity_graph(5, 0.5, kernel_rng)
+    game = xor_game_from_graph(graph)
+    benchmark(lambda: xor_quantum_value(game))
+
+
+def bench_fig3_vertex_scaling(benchmark):
+    """Paper: 'the probability of achieving a quantum advantage increases
+    with the number of vertices'."""
+    games_per_point = scaled(30)
+    p_exclusive = 0.5
+    sizes = [3, 4, 5, 6]
+    rng = np.random.default_rng(11)
+    probabilities = [
+        advantage_probability(n, p_exclusive, games_per_point, rng)
+        for n in sizes
+    ]
+    figure = FigureData(
+        title=f"Fig 3 inset: advantage probability vs vertex count "
+        f"(p_exclusive={p_exclusive}, {games_per_point} games/point)",
+        x_label="vertices",
+        y_label="P(quantum advantage)",
+    )
+    figure.add(f"p={p_exclusive}", [float(n) for n in sizes], probabilities)
+    print_block("Fig 3 — vertex-count scaling", format_figure(figure))
+
+    assert probabilities[-1] >= probabilities[0], (
+        "advantage probability should not shrink with more vertices"
+    )
+
+    kernel_rng = np.random.default_rng(13)
+    benchmark(
+        lambda: advantage_probability(4, 0.5, 2, kernel_rng)
+    )

@@ -1,0 +1,152 @@
+"""Fig 4 reproduction: average queue length vs load for classical random
+and quantum (CHSH-paired) load balancing.
+
+Paper claims: "the knee point — where queue length begins to increase
+rapidly — occurs later in the quantum version"; N = 100 load balancers;
+results depend primarily on the ratio N/M.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import FigureData, format_figure, format_table
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    RandomAssignment,
+    knee_load,
+    sweep_load,
+)
+
+LOADS = (0.5, 0.75, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0)
+
+
+def bench_fig4_queue_length_curve(benchmark):
+    num_balancers = 100
+    timesteps = scaled(800)
+    sweeps = {
+        "classical random": sweep_load(
+            RandomAssignment,
+            num_balancers=num_balancers,
+            loads=LOADS,
+            timesteps=timesteps,
+            seed=3,
+        ),
+        "classical paired": sweep_load(
+            ClassicalPairedAssignment,
+            num_balancers=num_balancers,
+            loads=LOADS,
+            timesteps=timesteps,
+            seed=3,
+        ),
+        "quantum CHSH": sweep_load(
+            CHSHPairedAssignment,
+            num_balancers=num_balancers,
+            loads=LOADS,
+            timesteps=timesteps,
+            seed=3,
+        ),
+    }
+
+    figure = FigureData(
+        title=f"Fig 4: N={num_balancers}, {timesteps} steps, "
+        "avg queue length vs load N/M",
+        x_label="load N/M",
+        y_label="mean queue length",
+    )
+    for name, points in sweeps.items():
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+    body = format_figure(figure)
+
+    knees = [
+        [name, knee_load(points, queue_threshold=10.0)]
+        for name, points in sweeps.items()
+    ]
+    body += "\n\n" + format_table(
+        ["policy", "knee load (first queue >= 10)"],
+        knees,
+        float_format="{:.2f}",
+    )
+    print_block("Fig 4 — quantum load balancing shifts the knee", body)
+
+    classical_knee = knee_load(sweeps["classical random"], queue_threshold=10.0)
+    quantum_knee = knee_load(sweeps["quantum CHSH"], queue_threshold=10.0)
+    assert quantum_knee >= classical_knee, "paper: knee occurs later for quantum"
+
+    # In the knee region the quantum queue should be clearly shorter.
+    classical_at_knee = {
+        round(p.load, 2): p.result.mean_queue_length
+        for p in sweeps["classical random"]
+    }
+    quantum_at_knee = {
+        round(p.load, 2): p.result.mean_queue_length
+        for p in sweeps["quantum CHSH"]
+    }
+    assert quantum_at_knee[1.25] < classical_at_knee[1.25] * 0.85
+
+    # Timed kernel: a short simulation run at the knee load.
+    from repro.lb import run_timestep_simulation
+
+    policy = CHSHPairedAssignment(40, 32)
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(policy, timesteps=100, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def bench_fig4_queueing_delay(benchmark):
+    """Same experiment through the delay lens (the Fig 4 caption reads
+    'average queuing delay')."""
+    num_balancers = 100
+    timesteps = scaled(800)
+    random_points = sweep_load(
+        RandomAssignment,
+        num_balancers=num_balancers,
+        loads=LOADS,
+        timesteps=timesteps,
+        seed=5,
+    )
+    quantum_points = sweep_load(
+        CHSHPairedAssignment,
+        num_balancers=num_balancers,
+        loads=LOADS,
+        timesteps=timesteps,
+        seed=5,
+    )
+    figure = FigureData(
+        title=f"Fig 4 (delay form): N={num_balancers}, {timesteps} steps",
+        x_label="load N/M",
+        y_label="mean queueing delay (steps)",
+    )
+    figure.add(
+        "classical random",
+        [p.load for p in random_points],
+        [p.result.mean_queueing_delay for p in random_points],
+    )
+    figure.add(
+        "quantum CHSH",
+        [p.load for p in quantum_points],
+        [p.result.mean_queueing_delay for p in quantum_points],
+    )
+    print_block("Fig 4 — queueing delay", format_figure(figure))
+
+    by_load_random = {round(p.load, 2): p for p in random_points}
+    by_load_quantum = {round(p.load, 2): p for p in quantum_points}
+    assert (
+        by_load_quantum[1.25].result.mean_queueing_delay
+        < by_load_random[1.25].result.mean_queueing_delay
+    )
+
+    from repro.lb import run_timestep_simulation
+
+    policy = RandomAssignment(40, 32)
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(policy, timesteps=100, seed=1),
+        rounds=3,
+        iterations=1,
+    )

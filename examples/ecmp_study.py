@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""ECMP routing and the paper's negative result (§4.2).
+
+Walks through the whole argument computationally:
+
+1. Classical ECMP: collision statistics of hash-based path selection.
+2. The collision game: classical value beats naive randomization.
+3. The no-signaling reduction: nothing an inactive switch does can
+   influence the active pair's statistics (so global entanglement
+   reduces to pairwise mixtures).
+4. Conjecture evidence: see-saw optimization over arbitrary quantum
+   strategies never beats the classical value.
+
+Run:  python examples/ecmp_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ecmp import (
+    CollisionGame,
+    EcmpSwitch,
+    all_pair_statistics_invariant,
+    decompose_after_c_measurement,
+    ghz_strategy_value,
+    measure_collisions,
+    seesaw_quantum_value,
+)
+from repro.quantum import ghz_state
+from repro.quantum.bases import computational_basis, hadamard_basis, rotation_basis
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Classical ECMP substrate.
+    switches = [EcmpSwitch(i, 2, mode="per-packet") for i in range(3)]
+    stats = measure_collisions(switches, num_active=2, trials=5000, rng=rng)
+    print(
+        "per-packet ECMP, 3 switches / 2 active / 2 paths: "
+        f"collision probability {stats.collision_probability:.3f} "
+        "(theory: 0.5)\n"
+    )
+
+    # 2. The collision game.
+    game = CollisionGame(3, 2, 2)
+    print(
+        format_table(
+            ["strategy", "win probability"],
+            [
+                ["independent random", game.random_strategy_value()],
+                ["best classical", game.classical_value()],
+            ],
+            title="Collision game values",
+            float_format="{:.4f}",
+        )
+    )
+
+    # 3. The reduction, numerically.
+    bases = [computational_basis(1), hadamard_basis(), rotation_basis(0.6)]
+    invariant = all_pair_statistics_invariant(ghz_state(3), bases)
+    print(
+        f"\nA-B statistics invariant under ANY measurement by C: {invariant}"
+    )
+    parts = decompose_after_c_measurement(ghz_state(3), hadamard_basis())
+    print(
+        "C measuring first leaves a classical mixture of bipartite states: "
+        + ", ".join(f"p={p:.2f}" for p, _ in parts)
+    )
+
+    # 4. Conjecture evidence.
+    ghz_value = max(
+        ghz_strategy_value(
+            game, [rotation_basis(rng.uniform(0, np.pi)) for _ in range(3)]
+        )
+        for _ in range(100)
+    )
+    seesaw = seesaw_quantum_value(game, restarts=4, iterations=40, seed=1)
+    print(
+        format_table(
+            ["approach", "win probability"],
+            [
+                ["best of 100 random GHZ strategies", ghz_value],
+                ["see-saw over arbitrary strategies", seesaw.value],
+                ["classical value", game.classical_value()],
+            ],
+            title="\nQuantum attempts vs classical",
+            float_format="{:.6f}",
+        )
+    )
+    print(
+        "\nNo quantum strategy found beats the classical value — evidence"
+        "\nfor the paper's conjecture that ECMP-style collision avoidance"
+        "\nadmits no quantum advantage."
+    )
+
+
+if __name__ == "__main__":
+    main()

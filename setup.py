@@ -1,0 +1,11 @@
+"""Shim so legacy editable installs work in offline environments.
+
+The environment this repo targets has no ``wheel`` package and no network,
+so PEP 517 editable installs fail. ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` with modern pip)
+goes through this file instead. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

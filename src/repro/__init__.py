@@ -1,0 +1,24 @@
+"""repro — quantum non-local games for coordination-free networked systems.
+
+Reproduction of Arun, Chidambaram & Aaronson, "Faster-than-light
+coordination for networked systems with quantum non-local games"
+(HotNets '25). See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Subpackages
+-----------
+- :mod:`repro.quantum`  — exact qubit simulator (states, bases, channels).
+- :mod:`repro.sdp`      — small dense SDP solver (Tsirelson / NPA programs).
+- :mod:`repro.games`    — non-local game framework (CHSH, XOR, multiplayer).
+- :mod:`repro.sim`      — discrete-event simulation engine.
+- :mod:`repro.net`      — network substrate (servers, links, workloads).
+- :mod:`repro.lb`       — quantum-correlated load balancing (the paper's core).
+- :mod:`repro.ecmp`     — ECMP collision games and the no-advantage results.
+- :mod:`repro.hardware` — QNIC / SPDC-source realism models.
+- :mod:`repro.analysis` — statistics, sweeps, and table formatting.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["__version__", "ReproError"]

@@ -1,0 +1,25 @@
+"""Statistics, series containers, and table formatting for experiments."""
+
+from repro.analysis.series import FigureData, Series
+from repro.analysis.stats import (
+    OnlineStats,
+    bootstrap_mean_ci,
+    jain_fairness,
+    mean_confidence_interval,
+)
+from repro.analysis.sweep import SeededResult, compare_seeded, run_seeded
+from repro.analysis.tables import format_figure, format_table
+
+__all__ = [
+    "FigureData",
+    "Series",
+    "OnlineStats",
+    "bootstrap_mean_ci",
+    "jain_fairness",
+    "mean_confidence_interval",
+    "format_figure",
+    "format_table",
+    "SeededResult",
+    "compare_seeded",
+    "run_seeded",
+]

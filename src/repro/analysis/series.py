@@ -1,0 +1,64 @@
+"""Figure-series containers: named (x, y) data with CSV export.
+
+Benchmarks build these and print them via :mod:`repro.analysis.tables`,
+so every regenerated figure has a machine-readable form.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Series", "FigureData"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.name!r}: {len(self.x)} x vs {len(self.y)} y"
+            )
+        if not self.x:
+            raise ConfigurationError(f"series {self.name!r} is empty")
+        object.__setattr__(self, "x", tuple(float(v) for v in self.x))
+        object.__setattr__(self, "y", tuple(float(v) for v in self.y))
+
+
+@dataclass
+class FigureData:
+    """A named collection of series sharing an x axis meaning."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> None:
+        """Append a curve."""
+        self.series.append(Series(name=name, x=tuple(x), y=tuple(y)))
+
+    def get(self, name: str) -> Series:
+        """Look up a curve by name."""
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise ConfigurationError(f"no series named {name!r} in {self.title!r}")
+
+    def to_csv(self) -> str:
+        """Long-format CSV: ``series,x,y`` rows."""
+        out = io.StringIO()
+        out.write("series,x,y\n")
+        for s in self.series:
+            for x, y in zip(s.x, s.y):
+                out.write(f"{s.name},{x},{y}\n")
+        return out.getvalue()

@@ -1,0 +1,112 @@
+"""Statistics helpers: online accumulation, CIs, bootstrap."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OnlineStats",
+    "mean_confidence_interval",
+    "bootstrap_mean_ci",
+    "jain_fairness",
+]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even allocation; ``1/n`` means one participant
+    holds everything. Used to quantify per-server load balance.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("empty sample")
+    if (arr < 0).any():
+        raise ConfigurationError("fairness is defined for non-negative loads")
+    square_sum = float((arr ** 2).sum())
+    if square_sum == 0.0:
+        return 1.0  # nobody has anything: trivially fair
+    return float(arr.sum() ** 2 / (arr.size * square_sum))
+
+
+class OnlineStats:
+    """Welford's online mean/variance accumulator."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def count(self) -> int:
+        """Samples seen."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 before any samples)."""
+        return self._mean
+
+    def push(self, value: float) -> None:
+        """Add one sample."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Add many samples."""
+        for v in values:
+            self.push(v)
+
+    def variance(self) -> float:
+        """Unbiased sample variance; needs at least two samples."""
+        if self._count < 2:
+            raise ConfigurationError("variance needs at least two samples")
+        return self._m2 / (self._count - 1)
+
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance())
+
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.std() / math.sqrt(self._count)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> tuple[float, float, float]:
+    """Return ``(mean, low, high)`` with a normal-approximation CI."""
+    if not len(values):
+        raise ConfigurationError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if len(arr) == 1:
+        return mean, mean, mean
+    half = z * float(arr.std(ddof=1)) / math.sqrt(len(arr))
+    return mean, mean - half, mean + half
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    rng: np.random.Generator,
+    *,
+    resamples: int = 2000,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap CI for the mean: ``(mean, low, high)``."""
+    if not len(values):
+        raise ConfigurationError("empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence {confidence} outside (0, 1)")
+    arr = np.asarray(values, dtype=float)
+    means = rng.choice(arr, size=(resamples, len(arr)), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(arr.mean()), float(low), float(high)

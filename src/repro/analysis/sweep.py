@@ -1,0 +1,69 @@
+"""Generic seeded parameter sweeps with confidence intervals.
+
+Single-seed comparisons can mistake noise for effects; this runner
+repeats every configuration across seeds and reports mean ± CI, which
+the significance benchmark uses to show the Fig 4 knee shift is real.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.stats import mean_confidence_interval
+from repro.errors import ConfigurationError
+
+__all__ = ["SeededResult", "run_seeded", "compare_seeded"]
+
+
+@dataclass(frozen=True)
+class SeededResult:
+    """Aggregate of one configuration across seeds.
+
+    Attributes:
+        label: configuration name.
+        mean / low / high: mean and CI bounds of the metric.
+        samples: per-seed metric values.
+    """
+
+    label: str
+    mean: float
+    low: float
+    high: float
+    samples: tuple[float, ...]
+
+    def overlaps(self, other: "SeededResult") -> bool:
+        """Do the two confidence intervals overlap?"""
+        return not (self.high < other.low or other.high < self.low)
+
+
+def run_seeded(
+    label: str,
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    z: float = 1.96,
+) -> SeededResult:
+    """Evaluate ``metric(seed)`` across seeds and aggregate."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    samples = [float(metric(seed)) for seed in seeds]
+    mean, low, high = mean_confidence_interval(samples, z=z)
+    return SeededResult(
+        label=label, mean=mean, low=low, high=high, samples=tuple(samples)
+    )
+
+
+def compare_seeded(
+    metrics: Mapping[str, Callable[[int], float]],
+    seeds: Sequence[int],
+    *,
+    z: float = 1.96,
+) -> dict[str, SeededResult]:
+    """Run several labeled metrics over the same seeds."""
+    if not metrics:
+        raise ConfigurationError("need at least one metric")
+    return {
+        label: run_seeded(label, metric, seeds, z=z)
+        for label, metric in metrics.items()
+    }

@@ -1,0 +1,78 @@
+"""ASCII table rendering for benchmark output.
+
+Every benchmark prints the rows/series the paper reports through these
+helpers, so ``pytest benchmarks/ --benchmark-only`` output doubles as the
+EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "format_figure"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers"
+            )
+        rendered_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure(figure, *, float_format: str = "{:.4f}") -> str:
+    """Render a :class:`~repro.analysis.series.FigureData` as a table.
+
+    One x column plus one column per series (x grids must match).
+    """
+    if not figure.series:
+        raise ConfigurationError(f"figure {figure.title!r} has no series")
+    base_x = figure.series[0].x
+    for s in figure.series[1:]:
+        if s.x != base_x:
+            raise ConfigurationError(
+                "figure series have mismatched x grids; print separately"
+            )
+    headers = [figure.x_label] + [s.name for s in figure.series]
+    rows = []
+    for i, x in enumerate(base_x):
+        rows.append([x] + [s.y[i] for s in figure.series])
+    return format_table(
+        headers,
+        rows,
+        title=f"{figure.title}  (y = {figure.y_label})",
+        float_format=float_format,
+    )

@@ -1,0 +1,335 @@
+"""Command-line interface: reproduce the paper's results from a shell.
+
+Usage::
+
+    python -m repro chsh
+    python -m repro fig3 --games 20 --points 0 0.5 1.0
+    python -m repro fig4 --steps 400 --loads 1.0 1.25
+    python -m repro ecmp
+    python -m repro budget --source-fidelity 0.97 --fiber-km 1.0 \
+        --storage-us 50
+    python -m repro values --p-exclusive 0.5 --vertices 5 --seed 7
+
+Each subcommand prints the same tables the benchmark harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantum non-local games for networked systems "
+        "(HotNets '25 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("chsh", help="CHSH game values (paper §2)")
+
+    fig3 = sub.add_parser("fig3", help="Fig 3: XOR-game advantage curve")
+    fig3.add_argument("--games", type=int, default=20,
+                      help="games per point (default 20)")
+    fig3.add_argument("--points", type=float, nargs="+",
+                      default=[0.0, 0.25, 0.5, 0.75, 1.0],
+                      help="P(edge exclusive) grid")
+    fig3.add_argument("--vertices", type=int, default=5)
+    fig3.add_argument("--seed", type=int, default=0)
+
+    fig4 = sub.add_parser("fig4", help="Fig 4: queue length vs load")
+    fig4.add_argument("--balancers", type=int, default=100)
+    fig4.add_argument("--steps", type=int, default=600)
+    fig4.add_argument("--loads", type=float, nargs="+",
+                      default=[0.75, 1.0, 1.25, 1.5])
+    fig4.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("ecmp", help="§4.2 collision games and reduction")
+
+    budget = sub.add_parser("budget", help="§3 hardware advantage budget")
+    budget.add_argument("--source-fidelity", type=float, default=0.97)
+    budget.add_argument("--fiber-km", type=float, default=1.0)
+    budget.add_argument("--storage-us", type=float, default=50.0)
+    budget.add_argument("--coherence-us", type=float, default=400.0)
+    budget.add_argument("--pair-rate", type=float, default=1e6)
+
+    values = sub.add_parser(
+        "values", help="classical/quantum values of one random graph game"
+    )
+    values.add_argument("--p-exclusive", type=float, default=0.5)
+    values.add_argument("--vertices", type=int, default=5)
+    values.add_argument("--seed", type=int, default=0)
+
+    mermin = sub.add_parser(
+        "mermin", help="multiplayer Mermin game value table"
+    )
+    mermin.add_argument("--max-players", type=int, default=5)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="finite-sample CHSH calibration of a Werner state"
+    )
+    calibrate.add_argument("--fidelity", type=float, default=0.95)
+    calibrate.add_argument("--samples", type=int, default=5000)
+    calibrate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_chsh() -> None:
+    from repro.analysis import format_table
+    from repro.games import (
+        CHSH_CLASSICAL_VALUE,
+        CHSH_QUANTUM_VALUE,
+        chsh_game,
+        exact_win_probability,
+        optimal_quantum_strategy,
+    )
+
+    game = chsh_game()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["classical value (brute force)", game.classical_value()],
+                ["classical value (paper)", CHSH_CLASSICAL_VALUE],
+                [
+                    "quantum value (paper angles)",
+                    exact_win_probability(game, optimal_quantum_strategy()),
+                ],
+                ["quantum value (paper)", CHSH_QUANTUM_VALUE],
+            ],
+            title="CHSH game (win iff a^b == x&y)",
+            float_format="{:.6f}",
+        )
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.games import advantage_probability
+
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for p in args.points:
+        prob = advantage_probability(args.vertices, p, args.games, rng)
+        rows.append([p, prob])
+    print(
+        format_table(
+            ["P(edge exclusive)", "P(quantum advantage)"],
+            rows,
+            title=f"Fig 3: {args.vertices}-vertex graphs, "
+            f"{args.games} games/point",
+        )
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.analysis import FigureData, format_figure
+    from repro.lb import CHSHPairedAssignment, RandomAssignment, sweep_load
+
+    figure = FigureData(
+        title=f"Fig 4: N={args.balancers}, {args.steps} steps",
+        x_label="load N/M",
+        y_label="mean queue length",
+    )
+    for name, factory in (
+        ("classical random", RandomAssignment),
+        ("quantum CHSH", CHSHPairedAssignment),
+    ):
+        points = sweep_load(
+            factory,
+            num_balancers=args.balancers,
+            loads=args.loads,
+            timesteps=args.steps,
+            seed=args.seed,
+        )
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+    print(format_figure(figure))
+
+
+def _cmd_ecmp() -> None:
+    from repro.analysis import format_table
+    from repro.ecmp import CollisionGame, seesaw_quantum_value
+
+    game = CollisionGame(3, 2, 2)
+    seesaw = seesaw_quantum_value(game, restarts=3, iterations=30, seed=0)
+    print(
+        format_table(
+            ["strategy", "win probability"],
+            [
+                ["independent random", game.random_strategy_value()],
+                ["best classical", game.classical_value()],
+                ["see-saw quantum search", seesaw.value],
+            ],
+            title="Collision game (3 switches, 2 active, 2 paths)",
+            float_format="{:.6f}",
+        )
+    )
+    print(
+        "\nno quantum advantage found — consistent with the paper's "
+        "§4.2 conjecture"
+    )
+
+
+def _cmd_budget(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.hardware import (
+        QNIC,
+        EntanglementDistributor,
+        FiberChannel,
+        SPDCSource,
+        evaluate_budget,
+    )
+
+    source = SPDCSource(
+        pair_rate=args.pair_rate, fidelity=args.source_fidelity
+    )
+    fiber = FiberChannel(length_m=args.fiber_km * 1000.0)
+    qnic = QNIC(
+        storage_limit=max(args.storage_us, 1.0) * 1e-6 * 2,
+        coherence_time=args.coherence_us * 1e-6,
+    )
+    dist = EntanglementDistributor(source, fiber, fiber, qnic, qnic)
+    budget = evaluate_budget(
+        dist,
+        storage_a=args.storage_us * 1e-6,
+        storage_b=args.storage_us * 1e-6,
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["delivered Bell fidelity", budget.bell_fidelity],
+                ["CHSH win probability", budget.chsh_win_probability],
+                ["advantage vs classical", budget.advantage],
+                ["quantum advantage?", "yes" if budget.has_advantage else "NO"],
+                ["delivered pairs/s", budget.delivered_pair_rate],
+            ],
+            title="End-to-end hardware budget",
+            float_format="{:.6f}",
+        )
+    )
+
+
+def _cmd_values(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.games import (
+        random_affinity_graph,
+        xor_game_from_graph,
+        xor_quantum_value,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    graph = random_affinity_graph(args.vertices, args.p_exclusive, rng)
+    game = xor_game_from_graph(graph)
+    value = xor_quantum_value(game)
+    print(f"graph: {graph}")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["classical value", value.classical_value],
+                ["quantum value (SDP)", value.quantum_value],
+                ["rigorous upper bound", (1 + value.quantum_bias_upper) / 2],
+                ["advantage", value.advantage],
+            ],
+            title="Induced XOR game",
+            float_format="{:.6f}",
+        )
+    )
+
+
+def _cmd_mermin(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.games import (
+        mermin_classical_value,
+        mermin_game,
+        mermin_optimal_strategy,
+    )
+
+    if args.max_players < 3:
+        raise SystemExit("--max-players must be at least 3")
+    rows = []
+    for n in range(3, args.max_players + 1):
+        game = mermin_game(n)
+        quantum = game.quantum_value_of_strategy(mermin_optimal_strategy(n))
+        rows.append([n, mermin_classical_value(n), quantum])
+    print(
+        format_table(
+            ["players", "classical value", "GHZ quantum value"],
+            rows,
+            title="Mermin parity games",
+            float_format="{:.6f}",
+        )
+    )
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.hardware import estimate_chsh
+    from repro.hardware.calibration import S_CLASSICAL, S_TSIRELSON
+    from repro.quantum import werner_state
+
+    rng = np.random.default_rng(args.seed)
+    estimate = estimate_chsh(
+        werner_state(args.fidelity), args.samples, rng
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["true Werner fidelity", args.fidelity],
+                ["estimated S", estimate.s_value],
+                ["S stderr", estimate.s_stderr],
+                ["classical bound", S_CLASSICAL],
+                ["Tsirelson bound", S_TSIRELSON],
+                ["estimated fidelity", estimate.estimated_fidelity()],
+                [
+                    "certified non-classical?",
+                    "yes" if estimate.certifies_nonclassicality else "NO",
+                ],
+            ],
+            title=f"CHSH calibration ({args.samples} samples/setting)",
+            float_format="{:.6f}",
+        )
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "chsh":
+        _cmd_chsh()
+    elif args.command == "fig3":
+        _cmd_fig3(args)
+    elif args.command == "fig4":
+        _cmd_fig4(args)
+    elif args.command == "ecmp":
+        _cmd_ecmp()
+    elif args.command == "budget":
+        _cmd_budget(args)
+    elif args.command == "values":
+        _cmd_values(args)
+    elif args.command == "mermin":
+        _cmd_mermin(args)
+    elif args.command == "calibrate":
+        _cmd_calibrate(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0

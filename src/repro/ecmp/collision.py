@@ -1,0 +1,133 @@
+"""The ECMP collision game family (§4.2).
+
+``num_parties`` switches each learn only whether they are *active*; the
+active ones (a uniformly random subset of fixed size ``num_active``)
+each output a path index, and the team wins when no two active switches
+chose the same path. Inactive parties' outputs are ignored — precisely
+the structural property the paper's impossibility argument exploits
+("the quality of the outcome depends only on a subset of the parties").
+
+For binary paths the canonical instance is ``CollisionGame(3, 2, 2)``:
+three switches, two active, two paths. Its classical value is 2/3 (a
+triangle cannot be 2-colored), and the repo's evidence for the paper's
+conjecture is that neither GHZ states nor see-saw-optimized quantum
+strategies beat 2/3.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GameError
+
+__all__ = ["CollisionGame"]
+
+
+@dataclass(frozen=True)
+class CollisionGame:
+    """The (num_parties, num_active, num_paths) collision-avoidance game."""
+
+    num_parties: int
+    num_active: int
+    num_paths: int
+
+    def __post_init__(self) -> None:
+        if self.num_parties < 2:
+            raise GameError("need at least two parties")
+        if not 1 <= self.num_active <= self.num_parties:
+            raise GameError(
+                f"num_active {self.num_active} outside [1, {self.num_parties}]"
+            )
+        if self.num_paths < 2:
+            raise GameError("need at least two paths")
+
+    def active_subsets(self) -> list[tuple[int, ...]]:
+        """All equally likely active subsets."""
+        return list(
+            itertools.combinations(range(self.num_parties), self.num_active)
+        )
+
+    def win(self, subset: tuple[int, ...], outputs: dict[int, int]) -> bool:
+        """Did the active parties avoid collisions?"""
+        chosen = [outputs[i] for i in subset]
+        return len(set(chosen)) == len(chosen)
+
+    def classical_value(self) -> float:
+        """Exact classical value by brute force over deterministic strategies.
+
+        A deterministic strategy fixes each party's path (inactive inputs
+        are irrelevant because those outputs are ignored, and knowing
+        "I am active" reveals nothing about *which others* are active,
+        so conditioning on activity cannot change the chosen path).
+        """
+        subsets = self.active_subsets()
+        if self.num_paths ** self.num_parties > 4_000_000:
+            raise GameError("strategy space too large for brute force")
+        best = 0.0
+        for assignment in itertools.product(
+            range(self.num_paths), repeat=self.num_parties
+        ):
+            wins = sum(
+                1
+                for subset in subsets
+                if len({assignment[i] for i in subset}) == len(subset)
+            )
+            best = max(best, wins / len(subsets))
+            if best == 1.0:
+                break
+        return best
+
+    def random_strategy_value(self) -> float:
+        """Win probability when every active party picks uniformly at random.
+
+        Closed form: ``M! / ((M-k)! * M^k)`` for ``k`` active of ``M``
+        paths (the birthday-problem complement).
+        """
+        m, k = self.num_paths, self.num_active
+        if k > m:
+            return 0.0
+        return math.perm(m, k) / (m ** k)
+
+    def shared_permutation_value(self) -> float:
+        """Win probability when parties pre-share a random assignment.
+
+        With shared randomness the parties can correlate their fixed paths
+        (e.g. draw a uniformly random function party->path each round);
+        by convexity this cannot beat the best deterministic assignment,
+        and this helper returns the value of the *uniform random
+        assignment* mixture for comparison (equal to
+        :meth:`random_strategy_value` when assignments are independent).
+        """
+        return self.random_strategy_value()
+
+    def monte_carlo_value(
+        self,
+        choose,
+        trials: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Estimate the value of an arbitrary strategy callback.
+
+        ``choose(party_index, round_index, rng) -> path`` is invoked for
+        each active party; the callback may implement any no-communication
+        strategy (e.g. quantum measurements via an EntangledRegister).
+        """
+        if trials < 1:
+            raise GameError("need at least one trial")
+        subsets = self.active_subsets()
+        wins = 0
+        for round_index in range(trials):
+            subset = subsets[int(rng.integers(0, len(subsets)))]
+            outputs = {
+                i: int(choose(i, round_index, rng)) for i in subset
+            }
+            if any(
+                not 0 <= p < self.num_paths for p in outputs.values()
+            ):
+                raise GameError(f"strategy chose an invalid path: {outputs}")
+            wins += self.win(subset, outputs)
+        return wins / trials

@@ -1,0 +1,142 @@
+"""Flow-level ECMP fabric simulation on the DES substrate.
+
+The classical context for §4.2: ``N`` ingress switches spray flows over
+``M`` equal-cost paths (bandwidth-limited links). Path choice is
+per-flow hashing (practice), uniform random per flow, or a least-loaded
+oracle (the coordination upper bound the paper says is too expensive to
+obtain). The figures of merit are flow completion time and path-load
+imbalance — what collision probability turns into at the transport
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecmp.switch import EcmpSwitch
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.core import Environment, Timeout
+
+__all__ = ["FabricResult", "run_fabric_experiment"]
+
+_POLICIES = ("per-flow", "random", "least-loaded")
+
+
+@dataclass(frozen=True)
+class FabricResult:
+    """Outcome of a fabric experiment.
+
+    Attributes:
+        mean_fct: mean flow completion time.
+        p95_fct: 95th-percentile flow completion time.
+        path_imbalance: (max - min) / mean of per-path delivered bytes.
+        flows: flows completed.
+    """
+
+    mean_fct: float
+    p95_fct: float
+    path_imbalance: float
+    flows: int
+
+
+def run_fabric_experiment(
+    *,
+    num_switches: int = 8,
+    num_paths: int = 4,
+    policy: str = "per-flow",
+    flow_rate: float = 0.5,
+    mean_flow_size: float = 4.0,
+    horizon: float = 500.0,
+    bandwidth: float = 1.0,
+    seed: int = 0,
+) -> FabricResult:
+    """Simulate Poisson flow arrivals over a bandwidth-limited fabric.
+
+    Args:
+        policy: ``"per-flow"`` (ECMP hash), ``"random"`` (fresh random
+            path per flow), or ``"least-loaded"`` (oracle that sees the
+            projected busy time of every path — the coordination bound).
+        flow_rate: Poisson flow arrival rate per ingress switch.
+        mean_flow_size: exponential mean of flow sizes (bytes).
+        bandwidth: per-path bandwidth (bytes per time unit).
+    """
+    if policy not in _POLICIES:
+        raise ConfigurationError(
+            f"unknown fabric policy {policy!r}; options: {_POLICIES}"
+        )
+    if num_switches < 1 or num_paths < 1:
+        raise ConfigurationError("need at least one switch and one path")
+    env = Environment()
+    links = [
+        Link(env, propagation_delay=0.0, bandwidth=bandwidth, name=f"path{p}")
+        for p in range(num_paths)
+    ]
+    switches = [EcmpSwitch(i, num_paths) for i in range(num_switches)]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 99]))
+    completion_times: list[float] = []
+    delivered_per_path = np.zeros(num_paths)
+    flow_counter = 0
+
+    def pick_path(switch_index: int, packet: Packet) -> int:
+        if policy == "per-flow":
+            return switches[switch_index].select_path(packet, rng)
+        if policy == "random":
+            return int(rng.integers(0, num_paths))
+        # Least-loaded oracle: the path whose transmitter frees earliest.
+        busy = [max(link._busy_until, env.now) for link in links]
+        return int(np.argmin(busy))
+
+    def ingress(env: Environment, switch_index: int):
+        nonlocal flow_counter
+        stream = np.random.default_rng(
+            np.random.SeedSequence([seed, switch_index])
+        )
+        time = 0.0
+        while True:
+            time += stream.exponential(1.0 / flow_rate)
+            if time > horizon:
+                return
+            yield Timeout(env, time - env.now)
+            flow_counter += 1
+            size = stream.exponential(mean_flow_size)
+            packet = Packet(
+                flow_id=flow_counter,
+                size=size,
+                source=switch_index,
+                send_time=env.now,
+            )
+            path = pick_path(switch_index, packet)
+            start = env.now
+
+            def on_done(p: Packet, path=path, start=start) -> None:
+                completion_times.append(env.now - start)
+                delivered_per_path[path] += p.size
+
+            links[path].transmit(packet, size=size, on_deliver=on_done)
+
+    for index in range(num_switches):
+        env.process(ingress(env, index))
+    env.run()
+
+    if not completion_times:
+        raise ConfigurationError("no flows completed; raise horizon or rate")
+    fct = np.asarray(completion_times)
+    mean_delivered = delivered_per_path.mean()
+    imbalance = (
+        float(
+            (delivered_per_path.max() - delivered_per_path.min())
+            / mean_delivered
+        )
+        if mean_delivered > 0
+        else 0.0
+    )
+    return FabricResult(
+        mean_fct=float(fct.mean()),
+        p95_fct=float(np.percentile(fct, 95)),
+        path_imbalance=imbalance,
+        flows=len(completion_times),
+    )

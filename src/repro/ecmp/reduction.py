@@ -1,0 +1,154 @@
+"""Numerical demonstration of the §4.2 impossibility reduction.
+
+The paper's argument: place the inactive party ``C`` far away; by
+no-signaling, the joint statistics of the active parties ``A`` and ``B``
+cannot depend on anything ``C`` does, so WLOG ``C`` measures *first* —
+which collapses the tripartite state into a classical mixture of
+*bipartite* states between ``A`` and ``B``. Hence N-way entanglement
+cannot beat M-way entanglement when only M parties matter.
+
+This module makes each step of that argument a computation:
+
+- :func:`ab_statistics_invariant_under_c`: the A-B joint distribution is
+  identical whatever basis C measures in (or whether C measures at all).
+- :func:`decompose_after_c_measurement`: the explicit mixture of
+  bipartite conditional states C's measurement leaves behind.
+- :func:`ghz_pairwise_marginal_is_separable`: for GHZ specifically, the
+  A-B marginal is a *separable* classical mixture — three-way
+  entanglement gives the active pair no entanglement at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.quantum.bases import MeasurementBasis
+from repro.quantum.linalg import expand_operator
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "joint_ab_distribution",
+    "ab_statistics_invariant_under_c",
+    "decompose_after_c_measurement",
+    "ghz_pairwise_marginal_is_separable",
+    "all_pair_statistics_invariant",
+]
+
+
+def joint_ab_distribution(
+    state: StateVector | DensityMatrix,
+    basis_a: MeasurementBasis,
+    basis_b: MeasurementBasis,
+    *,
+    basis_c: MeasurementBasis | None = None,
+) -> np.ndarray:
+    """Joint outcome distribution for parties A (qubit 0) and B (qubit 1)
+    of a 3-qubit state, optionally after C (qubit 2) measures first.
+
+    When ``basis_c`` is given, C's outcome is *discarded* (averaged over),
+    exactly as in the reduction: A and B never learn it.
+    """
+    if isinstance(state, StateVector):
+        state = state.to_density_matrix()
+    if state.num_qubits != 3:
+        raise GameError("reduction demo expects a 3-party (3-qubit) state")
+    rho = state.matrix
+    if basis_c is not None:
+        averaged = np.zeros_like(rho)
+        for proj in basis_c.projectors():
+            full = expand_operator(proj, [2], 3)
+            averaged += full @ rho @ full
+        rho = averaged
+    out = np.zeros((2, 2))
+    for a, proj_a in enumerate(basis_a.projectors()):
+        pa = expand_operator(proj_a, [0], 3)
+        for b, proj_b in enumerate(basis_b.projectors()):
+            pb = expand_operator(proj_b, [1], 3)
+            out[a, b] = float(np.real(np.trace(rho @ (pa @ pb))))
+    out = out.clip(min=0.0)
+    return out / out.sum()
+
+
+def ab_statistics_invariant_under_c(
+    state: StateVector | DensityMatrix,
+    basis_a: MeasurementBasis,
+    basis_b: MeasurementBasis,
+    c_bases: list[MeasurementBasis],
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check the no-signaling invariance at the heart of the reduction.
+
+    Returns True when the A-B joint distribution is the same with no C
+    measurement and with every C basis in ``c_bases``.
+    """
+    baseline = joint_ab_distribution(state, basis_a, basis_b)
+    for basis_c in c_bases:
+        with_c = joint_ab_distribution(
+            state, basis_a, basis_b, basis_c=basis_c
+        )
+        if not np.allclose(baseline, with_c, atol=tolerance):
+            return False
+    return True
+
+
+def decompose_after_c_measurement(
+    state: StateVector | DensityMatrix,
+    basis_c: MeasurementBasis,
+) -> list[tuple[float, DensityMatrix]]:
+    """The mixture of bipartite A-B states left after C measures.
+
+    Returns ``[(p_k, rho_AB|k), ...]`` — the paper's "mixture of pairwise-
+    entangled states between A and B". Zero-probability outcomes are
+    dropped.
+    """
+    if isinstance(state, StateVector):
+        state = state.to_density_matrix()
+    if state.num_qubits != 3:
+        raise GameError("reduction demo expects a 3-party (3-qubit) state")
+    rho = state.matrix
+    parts: list[tuple[float, DensityMatrix]] = []
+    for proj in basis_c.projectors():
+        full = expand_operator(proj, [2], 3)
+        sub = full @ rho @ full
+        prob = float(np.real(np.trace(sub)))
+        if prob < 1e-12:
+            continue
+        conditional = DensityMatrix(sub / prob, validate=False).partial_trace(
+            [0, 1]
+        )
+        parts.append((prob, conditional))
+    return parts
+
+
+def ghz_pairwise_marginal_is_separable() -> bool:
+    """GHZ's two-party marginal is an explicitly separable mixture.
+
+    ``Tr_C |GHZ><GHZ| = (|00><00| + |11><11|) / 2`` — a classical mixture
+    of product states. Verifies the paper's observation that global
+    entanglement involving inactive parties is "effectively useless".
+    """
+    from repro.quantum.entangle import ghz_state
+
+    marginal = ghz_state(3).to_density_matrix().partial_trace([0, 1])
+    zero = StateVector.from_bits("00").to_density_matrix().matrix
+    one = StateVector.from_bits("11").to_density_matrix().matrix
+    return bool(np.allclose(marginal.matrix, (zero + one) / 2, atol=1e-12))
+
+
+def all_pair_statistics_invariant(
+    state: StateVector | DensityMatrix,
+    bases: list[MeasurementBasis],
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Invariance check across every (A, B) measurement combination."""
+    for basis_a, basis_b in itertools.product(bases, repeat=2):
+        if not ab_statistics_invariant_under_c(
+            state, basis_a, basis_b, bases, tolerance=tolerance
+        ):
+            return False
+    return True

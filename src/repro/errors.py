@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the most specific
+subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QuantumError(ReproError):
+    """Base class for errors from the quantum simulation substrate."""
+
+
+class DimensionError(QuantumError):
+    """A vector or operator has an incompatible or non-power-of-two shape."""
+
+
+class NotNormalizedError(QuantumError):
+    """A state vector or density matrix fails its normalization invariant."""
+
+    def __init__(self, norm: float, tolerance: float) -> None:
+        super().__init__(
+            f"state norm {norm!r} deviates from 1 by more than {tolerance!r}"
+        )
+        self.norm = norm
+        self.tolerance = tolerance
+
+
+class NotUnitaryError(QuantumError):
+    """A matrix used as a gate is not unitary within tolerance."""
+
+
+class NotHermitianError(QuantumError):
+    """A matrix used as an observable is not Hermitian within tolerance."""
+
+
+class NotDensityMatrixError(QuantumError):
+    """A matrix is not a valid density matrix (PSD, trace one)."""
+
+
+class MeasurementError(QuantumError):
+    """A measurement request is malformed (bad basis, reused qubit, ...)."""
+
+
+class QubitConsumedError(MeasurementError):
+    """A qubit was measured twice; measurement is destructive (paper §2)."""
+
+
+class GameError(ReproError):
+    """Base class for errors in the non-local game framework."""
+
+
+class StrategyError(GameError):
+    """A strategy is incompatible with the game it is asked to play."""
+
+
+class SolverError(ReproError):
+    """The SDP solver failed to converge or received an infeasible problem."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a finished environment."""
+
+
+class ResourceError(SimulationError):
+    """Misuse of a simulated resource (double release, negative capacity)."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors in the network substrate."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors in the hardware realism models."""
+
+
+class ConfigurationError(ReproError):
+    """A component received an invalid or inconsistent configuration."""

@@ -1,0 +1,132 @@
+"""Non-local game framework: CHSH, XOR, graph, and multiplayer games.
+
+The paper's core mapping (§4.1) — task affinity problems onto non-local
+games — lives here: game definitions, classical/quantum value
+computations, optimal strategy construction, and a Monte-Carlo referee.
+"""
+
+from repro.games.base import TwoPlayerGame, uniform_distribution
+from repro.games.biased import (
+    biased_chsh_game,
+    biased_colocation_game,
+    biased_game_values,
+    matched_quantum_strategy,
+)
+from repro.games.correlations import (
+    alice_marginal,
+    behavior_win_probability,
+    bob_marginal,
+    classical_mixture_behavior,
+    is_no_signaling,
+    is_valid_behavior,
+    pr_box,
+)
+from repro.games.chsh import (
+    CHSH_CLASSICAL_VALUE,
+    CHSH_QUANTUM_VALUE,
+    chsh_colocation_game,
+    chsh_game,
+    chsh_win_probability_for_state,
+    colocation_quantum_strategy,
+    optimal_classical_strategy,
+    optimal_quantum_strategy,
+)
+from repro.games.graph_games import (
+    AffinityGraph,
+    advantage_probability,
+    random_affinity_graph,
+    xor_game_from_graph,
+)
+from repro.games.multiplayer import (
+    MultiplayerQuantumStrategy,
+    MultiplayerXORGame,
+    ghz_game,
+    ghz_optimal_strategy,
+    mermin_classical_value,
+    mermin_game,
+    mermin_optimal_strategy,
+)
+from repro.games.npa import npa1_cost, npa1_upper_bound
+from repro.games.products import xor_power, xor_product
+from repro.games.quantum_value import (
+    XORValue,
+    alternating_bias_lower_bound,
+    anticommuting_observables,
+    has_quantum_advantage,
+    tsirelson_strategy,
+    xor_quantum_bias,
+    xor_quantum_value,
+)
+from repro.games.referee import GameRecord, play_rounds
+from repro.games.weighted import (
+    advantage_boundary_cc_weight,
+    weighted_colocation_game,
+    weighted_values,
+)
+from repro.games.strategies import (
+    BinaryObservable,
+    DeterministicStrategy,
+    QuantumStrategy,
+    SharedRandomnessStrategy,
+    Strategy,
+    exact_win_probability,
+)
+from repro.games.xor import XORGame
+
+__all__ = [
+    "TwoPlayerGame",
+    "uniform_distribution",
+    "alice_marginal",
+    "behavior_win_probability",
+    "bob_marginal",
+    "classical_mixture_behavior",
+    "is_no_signaling",
+    "is_valid_behavior",
+    "pr_box",
+    "biased_chsh_game",
+    "biased_colocation_game",
+    "biased_game_values",
+    "matched_quantum_strategy",
+    "CHSH_CLASSICAL_VALUE",
+    "CHSH_QUANTUM_VALUE",
+    "chsh_colocation_game",
+    "chsh_game",
+    "chsh_win_probability_for_state",
+    "colocation_quantum_strategy",
+    "optimal_classical_strategy",
+    "optimal_quantum_strategy",
+    "AffinityGraph",
+    "advantage_probability",
+    "random_affinity_graph",
+    "xor_game_from_graph",
+    "MultiplayerQuantumStrategy",
+    "MultiplayerXORGame",
+    "ghz_game",
+    "ghz_optimal_strategy",
+    "mermin_classical_value",
+    "mermin_game",
+    "mermin_optimal_strategy",
+    "npa1_cost",
+    "npa1_upper_bound",
+    "xor_power",
+    "xor_product",
+    "XORValue",
+    "alternating_bias_lower_bound",
+    "anticommuting_observables",
+    "has_quantum_advantage",
+    "tsirelson_strategy",
+    "xor_quantum_bias",
+    "xor_quantum_value",
+    "GameRecord",
+    "play_rounds",
+    "advantage_boundary_cc_weight",
+    "weighted_colocation_game",
+    "weighted_values",
+    "BinaryObservable",
+    "DeterministicStrategy",
+    "QuantumStrategy",
+    "SharedRandomnessStrategy",
+    "Strategy",
+    "exact_win_probability",
+    "XORGame",
+]

@@ -1,0 +1,171 @@
+"""Two-player non-local games: input distribution + win predicate.
+
+A game is played by two isolated parties (the paper's load balancers). A
+referee draws inputs ``(x, y)`` from a joint distribution, hands ``x`` to
+Alice and ``y`` to Bob, receives outputs ``(a, b)``, and declares a win
+when ``predicate(x, y, a, b)`` holds. Strategies for playing games live in
+:mod:`repro.games.strategies`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GameError
+
+__all__ = ["TwoPlayerGame", "uniform_distribution"]
+
+
+def uniform_distribution(num_x: int, num_y: int) -> np.ndarray:
+    """Uniform joint input distribution over ``num_x * num_y`` pairs."""
+    if num_x < 1 or num_y < 1:
+        raise GameError("input alphabets must be non-empty")
+    return np.full((num_x, num_y), 1.0 / (num_x * num_y))
+
+
+@dataclass(frozen=True)
+class TwoPlayerGame:
+    """A finite two-player non-local game.
+
+    Attributes:
+        name: label used in reports.
+        num_inputs_a / num_inputs_b: input alphabet sizes.
+        num_outputs_a / num_outputs_b: output alphabet sizes.
+        distribution: joint input distribution, shape ``(nx, ny)``.
+        predicate: win condition ``V(x, y, a, b) -> bool``.
+    """
+
+    name: str
+    num_inputs_a: int
+    num_inputs_b: int
+    num_outputs_a: int
+    num_outputs_b: int
+    distribution: np.ndarray
+    predicate: Callable[[int, int, int, int], bool] = field(compare=False)
+
+    def __post_init__(self) -> None:
+        dist = np.asarray(self.distribution, dtype=float)
+        if dist.shape != (self.num_inputs_a, self.num_inputs_b):
+            raise GameError(
+                f"distribution shape {dist.shape} != "
+                f"({self.num_inputs_a}, {self.num_inputs_b})"
+            )
+        if (dist < -1e-12).any() or abs(dist.sum() - 1.0) > 1e-9:
+            raise GameError("distribution entries must be a probability dist")
+        if min(self.num_outputs_a, self.num_outputs_b) < 1:
+            raise GameError("output alphabets must be non-empty")
+        object.__setattr__(self, "distribution", dist.clip(min=0.0))
+
+    # -- values -------------------------------------------------------------
+
+    def win_probability_of_behavior(self, behavior: np.ndarray) -> float:
+        """Win probability of a conditional behavior ``p(a, b | x, y)``.
+
+        ``behavior`` has shape ``(nx, ny, na, nb)``.
+        """
+        expected = (
+            self.num_inputs_a,
+            self.num_inputs_b,
+            self.num_outputs_a,
+            self.num_outputs_b,
+        )
+        behavior = np.asarray(behavior, dtype=float)
+        if behavior.shape != expected:
+            raise GameError(
+                f"behavior shape {behavior.shape} != {expected}"
+            )
+        total = 0.0
+        for x in range(self.num_inputs_a):
+            for y in range(self.num_inputs_b):
+                weight = self.distribution[x, y]
+                if weight == 0.0:
+                    continue
+                for a in range(self.num_outputs_a):
+                    for b in range(self.num_outputs_b):
+                        if self.predicate(x, y, a, b):
+                            total += weight * behavior[x, y, a, b]
+        return float(total)
+
+    def deterministic_value(
+        self, assignment_a: Sequence[int], assignment_b: Sequence[int]
+    ) -> float:
+        """Win probability of a deterministic strategy pair."""
+        if len(assignment_a) != self.num_inputs_a:
+            raise GameError("assignment_a length mismatch")
+        if len(assignment_b) != self.num_inputs_b:
+            raise GameError("assignment_b length mismatch")
+        total = 0.0
+        for x in range(self.num_inputs_a):
+            for y in range(self.num_inputs_b):
+                weight = self.distribution[x, y]
+                if weight and self.predicate(
+                    x, y, assignment_a[x], assignment_b[y]
+                ):
+                    total += weight
+        return float(total)
+
+    def classical_value(self) -> float:
+        """Exact classical value by brute force over deterministic strategies.
+
+        Shared randomness cannot beat the best deterministic strategy
+        (paper §3: "even if classical machines pre-agree on a strategy and
+        share randomness"), so this is the classical optimum. Exponential
+        in the input alphabet sizes; fine for the small games in the paper.
+        """
+        best = 0.0
+        for assignment_a in itertools.product(
+            range(self.num_outputs_a), repeat=self.num_inputs_a
+        ):
+            # Given Alice's assignment, Bob's best response decomposes
+            # per input y.
+            value = 0.0
+            for y in range(self.num_inputs_b):
+                best_y = 0.0
+                for b in range(self.num_outputs_b):
+                    score = sum(
+                        self.distribution[x, y]
+                        for x in range(self.num_inputs_a)
+                        if self.predicate(x, y, assignment_a[x], b)
+                    )
+                    best_y = max(best_y, score)
+                value += best_y
+            best = max(best, value)
+        return float(best)
+
+    def best_classical_strategy(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return an optimal deterministic ``(alice, bob)`` assignment pair."""
+        best = -1.0
+        best_pair: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        for assignment_a in itertools.product(
+            range(self.num_outputs_a), repeat=self.num_inputs_a
+        ):
+            assignment_b = []
+            value = 0.0
+            for y in range(self.num_inputs_b):
+                scored = []
+                for b in range(self.num_outputs_b):
+                    score = sum(
+                        self.distribution[x, y]
+                        for x in range(self.num_inputs_a)
+                        if self.predicate(x, y, assignment_a[x], b)
+                    )
+                    scored.append((score, b))
+                score, b = max(scored)
+                assignment_b.append(b)
+                value += score
+            if value > best:
+                best = value
+                best_pair = (tuple(assignment_a), tuple(assignment_b))
+        assert best_pair is not None  # alphabets are non-empty
+        return best_pair
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoPlayerGame({self.name!r}, "
+            f"inputs=({self.num_inputs_a},{self.num_inputs_b}), "
+            f"outputs=({self.num_outputs_a},{self.num_outputs_b}))"
+        )

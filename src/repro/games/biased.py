@@ -1,0 +1,83 @@
+"""Biased CHSH games: optimal strategies for skewed workloads.
+
+The paper's simulation draws type-C and type-E tasks with equal
+probability, making the colocation game a uniform-input CHSH game. Real
+workloads are skewed. When each balancer receives type-C with
+probability ``p``, the induced game has input distribution
+``P(x, y) = Bern(p) x Bern(p)`` — a *biased* CHSH game (cf. Lawson,
+Linden & Popescu, "Biased nonlocal games", which the paper cites as
+related theory). The Tsirelson SDP machinery applies unchanged, so this
+module derives the matched optimal quantum strategy for any bias and the
+corresponding load-balancing policy.
+
+This is a paper-extension feature: it answers "what angles should the
+QNICs use when the workload is not 50/50?"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.games.quantum_value import XORValue, tsirelson_strategy, xor_quantum_value
+from repro.games.strategies import QuantumStrategy
+from repro.games.xor import XORGame
+
+__all__ = [
+    "biased_colocation_game",
+    "biased_chsh_game",
+    "matched_quantum_strategy",
+    "biased_game_values",
+]
+
+
+def _bernoulli_product(p: float) -> np.ndarray:
+    if not 0.0 < p < 1.0:
+        raise GameError(
+            f"p_colocate {p} must be strictly inside (0, 1); degenerate "
+            "workloads make the game trivial"
+        )
+    marginal = np.array([1.0 - p, p])
+    return np.outer(marginal, marginal)
+
+
+def biased_chsh_game(p: float) -> XORGame:
+    """CHSH (win iff ``a^b == x&y``) with Bernoulli(p) inputs per party."""
+    return XORGame(
+        name=f"chsh-biased-{p:.3f}",
+        distribution=_bernoulli_product(p),
+        targets=np.array([[0, 0], [0, 1]]),
+    )
+
+
+def biased_colocation_game(p_colocate: float) -> XORGame:
+    """The load-balancing colocation game under a skewed task mix.
+
+    Inputs are task-type bits (1 = type-C, drawn with probability
+    ``p_colocate`` independently per balancer); the pair must colocate
+    exactly when both received type-C: ``a ^ b == 1 - (x & y)``.
+    """
+    return XORGame(
+        name=f"colocation-biased-{p_colocate:.3f}",
+        distribution=_bernoulli_product(p_colocate),
+        targets=np.array([[1, 1], [1, 0]]),
+    )
+
+
+def matched_quantum_strategy(
+    p_colocate: float, *, tolerance: float = 1e-9
+) -> QuantumStrategy:
+    """Optimal quantum strategy for the biased colocation game.
+
+    Solves the Tsirelson SDP for the skewed input distribution and
+    realizes the optimal vectors as explicit measurements; at
+    ``p_colocate = 0.5`` this recovers the paper's CHSH angles (up to a
+    global rotation).
+    """
+    game = biased_colocation_game(p_colocate)
+    return tsirelson_strategy(game, tolerance=tolerance)
+
+
+def biased_game_values(p_colocate: float) -> XORValue:
+    """Classical and quantum values of the biased colocation game."""
+    return xor_quantum_value(biased_colocation_game(p_colocate))

@@ -1,0 +1,75 @@
+"""NPA level-1 upper bounds on quantum values of binary-output games.
+
+The Navascues-Pironio-Acin hierarchy relaxes the set of quantum
+correlations; at level 1 the moment matrix is indexed by
+``{1, A_0.., B_0..}`` for ±1 observables. Any quantum strategy induces a
+PSD moment matrix with unit diagonal, so maximizing the (linear) win
+probability over such matrices upper-bounds the quantum value.
+
+The paper's §4.2 conjectures that ECMP-style collision games admit *no*
+quantum advantage; :mod:`repro.ecmp.search` uses this bound from above
+and a see-saw optimizer from below to squeeze the quantum value against
+the classical one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.games.base import TwoPlayerGame
+from repro.sdp import SDPResult, solve_diagonal_sdp
+
+__all__ = ["npa1_upper_bound", "npa1_cost"]
+
+
+def npa1_cost(game: TwoPlayerGame) -> tuple[np.ndarray, float]:
+    """Cost matrix and constant so the NPA-1 objective is
+    ``<C, Gamma> + const``.
+
+    For binary outputs, ``p(a, b | x, y)`` expands in the moments as
+    ``(1 + (-1)^a <A_x> + (-1)^b <B_y> + (-1)^(a+b) <A_x B_y>) / 4``; the
+    moment matrix row 0 holds the marginals and the A-B block holds the
+    correlators.
+    """
+    if game.num_outputs_a != 2 or game.num_outputs_b != 2:
+        raise GameError("NPA-1 bound implemented for binary outputs only")
+    nx, ny = game.num_inputs_a, game.num_inputs_b
+    size = 1 + nx + ny
+    cost = np.zeros((size, size))
+    constant = 0.0
+    for x in range(nx):
+        for y in range(ny):
+            weight = game.distribution[x, y]
+            if weight == 0.0:
+                continue
+            for a in (0, 1):
+                for b in (0, 1):
+                    if not game.predicate(x, y, a, b):
+                        continue
+                    coeff = weight / 4.0
+                    constant += coeff
+                    sign_a = 1.0 if a == 0 else -1.0
+                    sign_b = 1.0 if b == 0 else -1.0
+                    # Marginal terms live in row/column 0; each symmetric
+                    # pair is visited twice by <C, Gamma>, so halve.
+                    cost[0, 1 + x] += coeff * sign_a / 2.0
+                    cost[1 + x, 0] += coeff * sign_a / 2.0
+                    cost[0, 1 + nx + y] += coeff * sign_b / 2.0
+                    cost[1 + nx + y, 0] += coeff * sign_b / 2.0
+                    cost[1 + x, 1 + nx + y] += coeff * sign_a * sign_b / 2.0
+                    cost[1 + nx + y, 1 + x] += coeff * sign_a * sign_b / 2.0
+    return cost, constant
+
+
+def npa1_upper_bound(
+    game: TwoPlayerGame, *, tolerance: float = 1e-8
+) -> tuple[float, SDPResult]:
+    """Rigorous upper bound on the quantum win probability of ``game``.
+
+    Returns ``(bound, sdp_result)``; the bound uses the solver's repaired
+    dual certificate, so it holds even before full convergence.
+    """
+    cost, constant = npa1_cost(game)
+    result = solve_diagonal_sdp(cost, tolerance=tolerance)
+    return constant + result.upper_bound, result

@@ -1,0 +1,153 @@
+"""JSON (de)serialization for games and affinity graphs.
+
+Lets designers version-control the affinity specs and games their
+balancers play. ``TwoPlayerGame`` predicates are serialized as explicit
+win tables, so any finite game round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GameError
+from repro.games.base import TwoPlayerGame
+from repro.games.graph_games import AffinityGraph
+from repro.games.xor import XORGame
+
+__all__ = [
+    "xor_game_to_dict",
+    "xor_game_from_dict",
+    "game_to_dict",
+    "game_from_dict",
+    "affinity_to_dict",
+    "affinity_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_KIND_KEY = "kind"
+
+
+def xor_game_to_dict(game: XORGame) -> dict[str, Any]:
+    """Serialize an XOR game."""
+    return {
+        _KIND_KEY: "xor_game",
+        "name": game.name,
+        "distribution": game.distribution.tolist(),
+        "targets": game.targets.tolist(),
+    }
+
+
+def xor_game_from_dict(data: dict[str, Any]) -> XORGame:
+    """Inverse of :func:`xor_game_to_dict`."""
+    _require_kind(data, "xor_game")
+    return XORGame(
+        name=str(data["name"]),
+        distribution=np.asarray(data["distribution"], dtype=float),
+        targets=np.asarray(data["targets"], dtype=int),
+    )
+
+
+def game_to_dict(game: TwoPlayerGame) -> dict[str, Any]:
+    """Serialize a finite two-player game with an explicit win table."""
+    table = [
+        [
+            [
+                [
+                    bool(game.predicate(x, y, a, b))
+                    for b in range(game.num_outputs_b)
+                ]
+                for a in range(game.num_outputs_a)
+            ]
+            for y in range(game.num_inputs_b)
+        ]
+        for x in range(game.num_inputs_a)
+    ]
+    return {
+        _KIND_KEY: "two_player_game",
+        "name": game.name,
+        "distribution": game.distribution.tolist(),
+        "num_outputs_a": game.num_outputs_a,
+        "num_outputs_b": game.num_outputs_b,
+        "win_table": table,
+    }
+
+
+def game_from_dict(data: dict[str, Any]) -> TwoPlayerGame:
+    """Inverse of :func:`game_to_dict`."""
+    _require_kind(data, "two_player_game")
+    table = np.asarray(data["win_table"], dtype=bool)
+    if table.ndim != 4:
+        raise GameError(f"win table must be 4-D, got shape {table.shape}")
+    dist = np.asarray(data["distribution"], dtype=float)
+    return TwoPlayerGame(
+        name=str(data["name"]),
+        num_inputs_a=table.shape[0],
+        num_inputs_b=table.shape[1],
+        num_outputs_a=int(data["num_outputs_a"]),
+        num_outputs_b=int(data["num_outputs_b"]),
+        distribution=dist,
+        predicate=lambda x, y, a, b: bool(table[x, y, a, b]),
+    )
+
+
+def affinity_to_dict(affinity: AffinityGraph) -> dict[str, Any]:
+    """Serialize an affinity graph as an edge list."""
+    return {
+        _KIND_KEY: "affinity_graph",
+        "num_types": affinity.num_types,
+        "edges": [
+            [int(u), int(v), bool(d["exclusive"])]
+            for u, v, d in affinity.graph.edges(data=True)
+        ],
+    }
+
+
+def affinity_from_dict(data: dict[str, Any]) -> AffinityGraph:
+    """Inverse of :func:`affinity_to_dict`."""
+    _require_kind(data, "affinity_graph")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(int(data["num_types"])))
+    for u, v, exclusive in data["edges"]:
+        graph.add_edge(int(u), int(v), exclusive=bool(exclusive))
+    return AffinityGraph(graph)
+
+
+def save_json(obj: XORGame | TwoPlayerGame | AffinityGraph,
+              path: str | Path) -> None:
+    """Serialize any supported object to a JSON file."""
+    if isinstance(obj, XORGame):
+        data = xor_game_to_dict(obj)
+    elif isinstance(obj, TwoPlayerGame):
+        data = game_to_dict(obj)
+    elif isinstance(obj, AffinityGraph):
+        data = affinity_to_dict(obj)
+    else:
+        raise GameError(f"cannot serialize {type(obj).__name__}")
+    Path(path).write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> XORGame | TwoPlayerGame | AffinityGraph:
+    """Load any supported object from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    kind = data.get(_KIND_KEY)
+    loaders = {
+        "xor_game": xor_game_from_dict,
+        "two_player_game": game_from_dict,
+        "affinity_graph": affinity_from_dict,
+    }
+    if kind not in loaders:
+        raise GameError(f"unknown serialized kind {kind!r}")
+    return loaders[kind](data)
+
+
+def _require_kind(data: dict[str, Any], kind: str) -> None:
+    if data.get(_KIND_KEY) != kind:
+        raise GameError(
+            f"expected serialized kind {kind!r}, got {data.get(_KIND_KEY)!r}"
+        )

@@ -1,0 +1,120 @@
+"""Value-weighted colocation games.
+
+The queueing experiments (see the classical-frontier extension bench)
+show that winning different input pairs of the colocation game is worth
+different amounts: colocating a CC pair saves a whole service slot,
+while separating an EE pair only avoids imbalance. A *weighted* XOR game
+captures this: each input pair carries a utility, and the objective is
+expected utility rather than win probability.
+
+Mathematically a weighted XOR game is just an XOR game whose referee
+distribution is reweighted by utility (and renormalized), so the whole
+Tsirelson machinery applies. This module builds those games and locates
+the utility regimes where entanglement still pays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.games.quantum_value import XORValue, xor_quantum_value
+from repro.games.xor import XORGame
+
+__all__ = [
+    "weighted_colocation_game",
+    "weighted_values",
+    "advantage_boundary_cc_weight",
+]
+
+
+def weighted_colocation_game(
+    p_colocate: float = 0.5,
+    *,
+    cc_weight: float = 1.0,
+    ce_weight: float = 1.0,
+    ee_weight: float = 1.0,
+) -> XORGame:
+    """The colocation game with per-input-pair utilities.
+
+    ``cc_weight`` scales the both-type-C case (colocation payoff),
+    ``ce_weight`` the mixed cases, ``ee_weight`` the both-type-E case.
+    Weights must be non-negative with a positive total. The returned
+    game's value is expected utility normalized to [0, 1].
+    """
+    if not 0.0 < p_colocate < 1.0:
+        raise GameError(f"p_colocate {p_colocate} outside (0, 1)")
+    for name, w in (
+        ("cc_weight", cc_weight),
+        ("ce_weight", ce_weight),
+        ("ee_weight", ee_weight),
+    ):
+        if w < 0:
+            raise GameError(f"{name} must be non-negative, got {w}")
+    p = p_colocate
+    frequencies = np.array(
+        [[(1 - p) ** 2, (1 - p) * p], [p * (1 - p), p * p]]
+    )
+    weights = np.array([[ee_weight, ce_weight], [ce_weight, cc_weight]])
+    mass = frequencies * weights
+    total = mass.sum()
+    if total <= 0:
+        raise GameError("at least one weight must be positive")
+    targets = np.array([[1, 1], [1, 0]])  # colocate only the CC pair
+    return XORGame(
+        name=(
+            f"colocation-weighted(p={p_colocate:.2f},"
+            f"cc={cc_weight:.2f},ee={ee_weight:.2f})"
+        ),
+        distribution=mass / total,
+        targets=targets,
+    )
+
+
+def weighted_values(
+    p_colocate: float = 0.5,
+    *,
+    cc_weight: float = 1.0,
+    ce_weight: float = 1.0,
+    ee_weight: float = 1.0,
+) -> XORValue:
+    """Classical and quantum expected-utility values (normalized)."""
+    game = weighted_colocation_game(
+        p_colocate,
+        cc_weight=cc_weight,
+        ce_weight=ce_weight,
+        ee_weight=ee_weight,
+    )
+    return xor_quantum_value(game)
+
+
+def advantage_boundary_cc_weight(
+    p_colocate: float = 0.5,
+    *,
+    threshold: float = 1e-4,
+    lo: float = 1.0,
+    hi: float = 64.0,
+    iterations: int = 30,
+) -> float:
+    """The CC utility multiplier beyond which the quantum advantage dies.
+
+    As ``cc_weight`` grows, the deterministic colocate-same-type strategy
+    (which wins the CC case with certainty) approaches optimality and the
+    quantum advantage shrinks to zero. Bisects for the boundary; returns
+    ``hi`` if the advantage survives the whole range.
+    """
+    def advantage(cc: float) -> float:
+        return weighted_values(p_colocate, cc_weight=cc).advantage
+
+    if advantage(lo) <= threshold:
+        return lo
+    if advantage(hi) > threshold:
+        return hi
+    low, high = lo, hi
+    for _ in range(iterations):
+        mid = (low + high) / 2.0
+        if advantage(mid) > threshold:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0

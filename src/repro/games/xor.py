@@ -1,0 +1,162 @@
+"""XOR games: the class of games the paper's load balancers play (§4.1).
+
+An XOR game is defined by a joint input distribution ``pi(x, y)`` and a
+target bit ``s(x, y)``; the players win when ``a XOR b == s(x, y)``. Only
+the relation between outputs matters, never the values themselves, which
+is what lets outputs stay uniformly random (paper §2) — exactly the
+property load balancing needs.
+
+Values are usually expressed through the *bias*
+``eps = 2 * win_probability - 1``. The classical bias maximizes
+``sum pi c a b`` over signs ``a, b in {-1, +1}`` (exact brute force here);
+the quantum bias is Tsirelson's SDP over unit vectors, computed in
+:mod:`repro.games.quantum_value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GameError
+from repro.games.base import TwoPlayerGame
+
+__all__ = ["XORGame"]
+
+
+@dataclass(frozen=True)
+class XORGame:
+    """An XOR game ``(pi, s)``.
+
+    Attributes:
+        name: label used in reports.
+        distribution: joint input distribution, shape ``(nx, ny)``.
+        targets: target XOR bits ``s(x, y)`` in {0, 1}, same shape.
+    """
+
+    name: str
+    distribution: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        dist = np.asarray(self.distribution, dtype=float)
+        targets = np.asarray(self.targets, dtype=int)
+        if dist.ndim != 2:
+            raise GameError(f"distribution must be 2-D, got {dist.shape}")
+        if targets.shape != dist.shape:
+            raise GameError(
+                f"targets shape {targets.shape} != distribution {dist.shape}"
+            )
+        if (dist < -1e-12).any() or abs(dist.sum() - 1.0) > 1e-9:
+            raise GameError("distribution must be a probability distribution")
+        if not np.isin(targets, (0, 1)).all():
+            raise GameError("targets must be 0/1")
+        object.__setattr__(self, "distribution", dist.clip(min=0.0))
+        object.__setattr__(self, "targets", targets)
+        self.distribution.flags.writeable = False
+        self.targets.flags.writeable = False
+
+    # -- shapes ---------------------------------------------------------------
+
+    @property
+    def num_inputs_a(self) -> int:
+        """Alice's input alphabet size."""
+        return self.distribution.shape[0]
+
+    @property
+    def num_inputs_b(self) -> int:
+        """Bob's input alphabet size."""
+        return self.distribution.shape[1]
+
+    def cost_matrix(self) -> np.ndarray:
+        """The signed, weighted matrix ``W = pi * (-1)^s``.
+
+        The bias of a sign assignment ``(a, b)`` is ``a^T W b``; of a
+        vector strategy, ``sum W_xy <u_x, v_y>``.
+        """
+        return self.distribution * np.where(self.targets == 0, 1.0, -1.0)
+
+    # -- values -----------------------------------------------------------------
+
+    def classical_bias(self) -> float:
+        """Exact classical bias by brute force over Alice's sign vectors.
+
+        For each of Alice's ``2^nx`` sign assignments, Bob's optimum is the
+        column-wise sign match, so the cost is ``O(2^nx * nx * ny)``.
+        """
+        w = self.cost_matrix()
+        nx = self.num_inputs_a
+        if nx > 24:
+            raise GameError(
+                f"brute force over 2^{nx} assignments is not tractable"
+            )
+        best = -np.inf
+        # Enumerate sign vectors via bit patterns of an integer counter.
+        for pattern in range(1 << (nx - 1), 1 << nx):
+            # Fix the leading sign to +1 (global flip symmetry) by only
+            # enumerating patterns whose top bit is set.
+            signs = np.where(
+                (pattern >> np.arange(nx)) & 1, 1.0, -1.0
+            )
+            col = signs @ w
+            best = max(best, float(np.abs(col).sum()))
+        return best
+
+    def classical_value(self) -> float:
+        """Classical win probability ``(1 + bias) / 2``."""
+        return (1.0 + self.classical_bias()) / 2.0
+
+    def best_classical_assignment(self) -> tuple[np.ndarray, np.ndarray]:
+        """An optimal deterministic strategy as ±1 sign vectors."""
+        w = self.cost_matrix()
+        nx = self.num_inputs_a
+        if nx > 24:
+            raise GameError(
+                f"brute force over 2^{nx} assignments is not tractable"
+            )
+        best = -np.inf
+        best_signs: np.ndarray | None = None
+        for pattern in range(1 << nx):
+            signs = np.where((pattern >> np.arange(nx)) & 1, 1.0, -1.0)
+            value = float(np.abs(signs @ w).sum())
+            if value > best:
+                best = value
+                best_signs = signs
+        assert best_signs is not None
+        col = best_signs @ w
+        bob = np.where(col >= 0, 1.0, -1.0)
+        return best_signs, bob
+
+    def win_probability_of_bias(self, bias: float) -> float:
+        """Convert a bias to a win probability."""
+        return (1.0 + bias) / 2.0
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_two_player_game(self) -> TwoPlayerGame:
+        """View as a generic :class:`TwoPlayerGame` (binary outputs)."""
+        targets = self.targets
+
+        return TwoPlayerGame(
+            name=self.name,
+            num_inputs_a=self.num_inputs_a,
+            num_inputs_b=self.num_inputs_b,
+            num_outputs_a=2,
+            num_outputs_b=2,
+            distribution=self.distribution,
+            predicate=lambda x, y, a, b: (a ^ b) == int(targets[x, y]),
+        )
+
+    @classmethod
+    def chsh(cls) -> "XORGame":
+        """CHSH as an XOR game (targets = x AND y)."""
+        dist = np.full((2, 2), 0.25)
+        targets = np.array([[0, 0], [0, 1]])
+        return cls(name="chsh", distribution=dist, targets=targets)
+
+    def __repr__(self) -> str:
+        return (
+            f"XORGame({self.name!r}, "
+            f"inputs=({self.num_inputs_a},{self.num_inputs_b}))"
+        )

@@ -1,0 +1,50 @@
+"""Hardware realism models: SPDC sources, fiber, QNICs, noise budgets."""
+
+from repro.hardware.calibration import (
+    CHSHEstimate,
+    estimate_chsh,
+    estimate_werner_fidelity,
+    pairs_needed_to_certify,
+    s_value_to_win_probability,
+    win_probability_to_s_value,
+)
+from repro.hardware.budget import (
+    AdvantageBudget,
+    evaluate_budget,
+    required_fidelity_for_advantage,
+)
+from repro.hardware.distribution import (
+    FIBER_LIGHT_SPEED,
+    DistributedPair,
+    EntanglementDistributor,
+    FiberChannel,
+)
+from repro.hardware.qnic import QNIC, storage_depolarizing_probability
+from repro.hardware.scheduler import (
+    analytic_pair_availability,
+    effective_win_probability,
+    simulate_pair_availability,
+)
+from repro.hardware.source import SPDCSource
+
+__all__ = [
+    "CHSHEstimate",
+    "estimate_chsh",
+    "estimate_werner_fidelity",
+    "pairs_needed_to_certify",
+    "s_value_to_win_probability",
+    "win_probability_to_s_value",
+    "AdvantageBudget",
+    "evaluate_budget",
+    "required_fidelity_for_advantage",
+    "FIBER_LIGHT_SPEED",
+    "DistributedPair",
+    "EntanglementDistributor",
+    "FiberChannel",
+    "QNIC",
+    "storage_depolarizing_probability",
+    "analytic_pair_availability",
+    "effective_win_probability",
+    "simulate_pair_availability",
+    "SPDCSource",
+]

@@ -1,0 +1,153 @@
+"""Entanglement distribution pipeline: source -> fiber -> QNIC buffers.
+
+Realizes Fig 1/2: a central source streams entangled pairs down fiber to
+two servers ahead of time; each server buffers its share in its QNIC and
+consumes the freshest usable pair when a request arrives. Fiber loss
+drops pairs (both halves are then discarded — loss is heralded by the
+missing detector click), fiber transit and buffering both decohere the
+surviving shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.qnic import QNIC
+from repro.hardware.source import SPDCSource
+from repro.quantum.channels import depolarizing
+from repro.quantum.state import DensityMatrix
+
+__all__ = ["FiberChannel", "DistributedPair", "EntanglementDistributor"]
+
+#: Speed of light in fiber, m/s (refractive index ~1.468).
+FIBER_LIGHT_SPEED = 2.04e8
+
+
+@dataclass(frozen=True)
+class FiberChannel:
+    """A fiber span carrying photonic qubits.
+
+    Attributes:
+        length_m: span length in meters.
+        loss_db_per_km: attenuation (telecom fiber: ~0.2 dB/km).
+        depolarizing_per_km: polarization noise accumulated per km.
+    """
+
+    length_m: float
+    loss_db_per_km: float = 0.2
+    depolarizing_per_km: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.length_m < 0:
+            raise HardwareError(f"negative fiber length {self.length_m}")
+        if self.loss_db_per_km < 0 or self.depolarizing_per_km < 0:
+            raise HardwareError("fiber loss parameters must be non-negative")
+
+    @property
+    def transit_time(self) -> float:
+        """One-way photon transit time in seconds."""
+        return self.length_m / FIBER_LIGHT_SPEED
+
+    def survival_probability(self) -> float:
+        """Probability a photon survives the span."""
+        loss_db = self.loss_db_per_km * self.length_m / 1000.0
+        return 10.0 ** (-loss_db / 10.0)
+
+    def depolarizing_probability(self) -> float:
+        """Depolarizing noise accumulated over the span."""
+        return min(1.0, self.depolarizing_per_km * self.length_m / 1000.0)
+
+
+@dataclass(frozen=True)
+class DistributedPair:
+    """A pair successfully delivered to both QNICs.
+
+    Attributes:
+        state: the (noisy) two-qubit state after fiber transit.
+        delivered_at: wall-clock delivery time at the servers.
+    """
+
+    state: DensityMatrix
+    delivered_at: float
+
+
+class EntanglementDistributor:
+    """End-to-end model of the Fig 1 distribution plane for one pair of
+    servers.
+
+    ``effective_state(storage_a, storage_b)`` composes every impairment:
+    source infidelity, fiber depolarization on both halves, and QNIC
+    storage decoherence for the durations each share waited before its
+    measurement.
+    """
+
+    def __init__(
+        self,
+        source: SPDCSource,
+        fiber_a: FiberChannel,
+        fiber_b: FiberChannel,
+        qnic_a: QNIC,
+        qnic_b: QNIC,
+    ) -> None:
+        self.source = source
+        self.fiber_a = fiber_a
+        self.fiber_b = fiber_b
+        self.qnic_a = qnic_a
+        self.qnic_b = qnic_b
+
+    def pair_survival_probability(self) -> float:
+        """Probability both photons of a pair arrive."""
+        return (
+            self.fiber_a.survival_probability()
+            * self.fiber_b.survival_probability()
+        )
+
+    def delivered_pair_rate(self) -> float:
+        """Usable pairs per second after fiber loss."""
+        return self.source.pair_rate * self.pair_survival_probability()
+
+    def delivery_latency(self) -> float:
+        """Time from emission to the later of the two arrivals."""
+        return max(self.fiber_a.transit_time, self.fiber_b.transit_time)
+
+    def effective_state(
+        self, storage_a: float = 0.0, storage_b: float = 0.0
+    ) -> DensityMatrix:
+        """The shared state at measurement time, all impairments applied.
+
+        Raises :class:`~repro.errors.HardwareError` when either storage
+        duration exceeds its QNIC's window (the pair is lost).
+        """
+        state = self.source.emit_pair()
+        p_a = self.fiber_a.depolarizing_probability()
+        p_b = self.fiber_b.depolarizing_probability()
+        if p_a > 0:
+            state = depolarizing(p_a).apply(state, targets=[0])
+        if p_b > 0:
+            state = depolarizing(p_b).apply(state, targets=[1])
+        state = self.qnic_a.decohere_share(state, 0, storage_a)
+        state = self.qnic_b.decohere_share(state, 1, storage_b)
+        return state
+
+    def decisions_per_second(self, consumption_interval: float) -> float:
+        """Correlated decisions per second the plane can sustain.
+
+        The binding constraint is the smaller of delivery rate and the
+        request rate implied by ``consumption_interval``.
+        """
+        if consumption_interval <= 0:
+            raise HardwareError(
+                f"consumption_interval must be positive: {consumption_interval}"
+            )
+        return min(self.delivered_pair_rate(), 1.0 / consumption_interval)
+
+    def max_storage_free_lead_time(self) -> float:
+        """How much earlier than the input a qubit may be sent so that it
+        arrives exactly when needed (paper §3: "arranging for the qubit to
+        arrive after the input" eliminates storage).
+
+        Equal to the delivery latency: a pair emitted ``latency`` before
+        the decision moment arrives just in time and needs zero storage.
+        """
+        return self.delivery_latency()

@@ -1,0 +1,94 @@
+"""Quantum NIC model: bounded-time qubit storage with decoherence (§3).
+
+A QNIC "can measure an incoming qubit in a specified basis, and it can
+optionally store the qubit for a short duration (e.g., 100us to 1ms)".
+Storage is imperfect: the stored share decoheres (modeled as depolarizing
+with a coherence time constant), and beyond the hardware window the qubit
+is lost outright.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.quantum.channels import depolarizing
+from repro.quantum.state import DensityMatrix
+
+__all__ = ["QNIC", "storage_depolarizing_probability"]
+
+
+def storage_depolarizing_probability(duration: float, coherence_time: float) -> float:
+    """Depolarizing probability accumulated over ``duration`` of storage.
+
+    Exponential decoherence: ``p = 1 - exp(-duration / coherence_time)``.
+    """
+    if duration < 0:
+        raise HardwareError(f"negative storage duration {duration}")
+    if coherence_time <= 0:
+        raise HardwareError(f"coherence_time must be positive: {coherence_time}")
+    return 1.0 - math.exp(-duration / coherence_time)
+
+
+@dataclass(frozen=True)
+class QNIC:
+    """A quantum network interface card.
+
+    Attributes:
+        storage_limit: maximum storage duration (seconds) before the qubit
+            is lost (paper: 16-160us demonstrated, 100us-1ms targeted).
+        coherence_time: exponential decoherence time constant while
+            stored (seconds).
+        measurement_error: probability a measurement outcome is flipped
+            by detector noise.
+    """
+
+    storage_limit: float = 100e-6
+    coherence_time: float = 500e-6
+    measurement_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.storage_limit <= 0:
+            raise HardwareError(
+                f"storage_limit must be positive: {self.storage_limit}"
+            )
+        if self.coherence_time <= 0:
+            raise HardwareError(
+                f"coherence_time must be positive: {self.coherence_time}"
+            )
+        if not 0.0 <= self.measurement_error <= 0.5:
+            raise HardwareError(
+                f"measurement_error {self.measurement_error} outside [0, 0.5]"
+            )
+
+    def can_store_for(self, duration: float) -> bool:
+        """Is ``duration`` within the hardware storage window?"""
+        if duration < 0:
+            raise HardwareError(f"negative duration {duration}")
+        return duration <= self.storage_limit
+
+    def decohere_share(
+        self,
+        state: DensityMatrix,
+        share: int,
+        duration: float,
+    ) -> DensityMatrix:
+        """Apply storage decoherence to one share of a multi-qubit state.
+
+        Raises when the duration exceeds the storage window — callers
+        should treat that as qubit loss and fall back to a classical
+        decision (see :mod:`repro.hardware.distribution`).
+        """
+        if not self.can_store_for(duration):
+            raise HardwareError(
+                f"storage of {duration}s exceeds limit {self.storage_limit}s"
+            )
+        p = storage_depolarizing_probability(duration, self.coherence_time)
+        if p == 0.0:
+            return state
+        return depolarizing(p).apply(state, targets=[share])
+
+    def flip_probability(self) -> float:
+        """Detector-noise outcome flip probability."""
+        return self.measurement_error

@@ -1,0 +1,55 @@
+"""Quantum-correlated load balancing — the paper's core contribution.
+
+Assignment policies (classical baselines and CHSH/XOR quantum pairs), the
+Fig 4 timestep harness, load sweeps, and a continuous-time DES adapter
+that measures genuine simulated qubits per decision.
+"""
+
+from repro.lb.biased import BiasedCHSHPairedAssignment
+from repro.lb.oracle import OmniscientAssignment
+from repro.lb.weighted import WeightedCHSHPairedAssignment
+from repro.lb.des_adapter import DESResult, QuantumPairDecider, run_des_experiment
+from repro.lb.policies import (
+    AssignmentPolicy,
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    DedicatedPoolAssignment,
+    GamePairedAssignment,
+    PowerOfTwoAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+    SameTypePairedAssignment,
+)
+from repro.lb.simulation import (
+    SERVICE_DISCIPLINES,
+    SimulationResult,
+    run_timestep_simulation,
+)
+from repro.lb.sweep import LoadSweepPoint, knee_load, sweep_load
+from repro.lb.xor_lb import ClassicalGraphPairedAssignment, XORPairedAssignment
+
+__all__ = [
+    "BiasedCHSHPairedAssignment",
+    "OmniscientAssignment",
+    "WeightedCHSHPairedAssignment",
+    "DESResult",
+    "QuantumPairDecider",
+    "run_des_experiment",
+    "AssignmentPolicy",
+    "CHSHPairedAssignment",
+    "ClassicalPairedAssignment",
+    "DedicatedPoolAssignment",
+    "GamePairedAssignment",
+    "PowerOfTwoAssignment",
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "SameTypePairedAssignment",
+    "SERVICE_DISCIPLINES",
+    "SimulationResult",
+    "run_timestep_simulation",
+    "LoadSweepPoint",
+    "knee_load",
+    "sweep_load",
+    "ClassicalGraphPairedAssignment",
+    "XORPairedAssignment",
+]

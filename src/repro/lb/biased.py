@@ -1,0 +1,30 @@
+"""Workload-matched quantum balancing for skewed task mixes.
+
+Extension feature (see :mod:`repro.games.biased`): when type-C tasks
+arrive with probability ``p != 0.5``, the paper's fixed CHSH angles are
+no longer optimal for the induced biased game. This policy solves the
+Tsirelson SDP for the *actual* workload bias and measures with the
+matched operators.
+"""
+
+from __future__ import annotations
+
+from repro.games.biased import matched_quantum_strategy
+from repro.lb.policies import GamePairedAssignment
+
+__all__ = ["BiasedCHSHPairedAssignment"]
+
+
+class BiasedCHSHPairedAssignment(GamePairedAssignment):
+    """CHSH-style pairs with measurement operators matched to the
+    workload's type-C probability."""
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        p_colocate: float,
+    ) -> None:
+        strategy = matched_quantum_strategy(p_colocate)
+        super().__init__(num_balancers, num_servers, strategy)
+        self.p_colocate = p_colocate

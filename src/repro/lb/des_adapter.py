@@ -1,0 +1,226 @@
+"""Continuous-time (DES) load balancing with real qubit measurements.
+
+The timestep harness samples exact game behaviors for speed; this module
+is the end-to-end integration path: Poisson request arrivals, a fleet of
+:class:`repro.net.Server` machines, and paired balancers that measure
+their shares of genuine :class:`~repro.quantum.measurement.
+EntangledRegister` Bell pairs — one fresh pair per decision round, as the
+architecture of Fig 1/2 prescribes (qubits are pre-shared; decisions
+happen with zero inter-balancer communication).
+
+Used by the §4.1 caveat study: the paper notes its conclusions assume
+task execution time roughly equal to an RTT; the DES model lets the bench
+vary ``service_time`` against a hypothetical coordination RTT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.metrics import DelayStats, FleetMetrics
+from repro.net.packet import Request, TaskType
+from repro.net.server import Server
+from repro.net.workload import PoissonArrivals
+from repro.quantum.bases import chsh_alice_basis, rotation_basis
+from repro.quantum.entangle import bell_pair
+from repro.quantum.measurement import EntangledRegister
+from repro.quantum.state import DensityMatrix, StateVector
+from repro.sim.core import Environment, Timeout
+
+__all__ = ["DESResult", "run_des_experiment", "QuantumPairDecider"]
+
+
+class QuantumPairDecider:
+    """Round-based CHSH decision protocol for one balancer pair.
+
+    Round ``r`` covers simulation time ``[r*round_length, (r+1)*
+    round_length)``. Each round the pair owns one pre-shared entangled
+    state and two pre-agreed random servers. The first request a balancer
+    receives in a round is routed by measuring its qubit share (basis
+    chosen by task type, CHSH colocation angles); further requests in the
+    same round fall back to uniform random — the qubit is consumed.
+    """
+
+    ALICE = 0
+    BOB = 1
+
+    def __init__(
+        self,
+        num_servers: int,
+        round_length: float,
+        rng: np.random.Generator,
+        *,
+        state: StateVector | DensityMatrix | None = None,
+    ) -> None:
+        if round_length <= 0:
+            raise ConfigurationError("round_length must be positive")
+        if num_servers < 2:
+            raise ConfigurationError("need at least two servers")
+        self._num_servers = num_servers
+        self._round_length = round_length
+        self._rng = rng
+        self._state = state if state is not None else bell_pair()
+        self._round = -1
+        self._register: EntangledRegister | None = None
+        self._servers: tuple[int, int] = (0, 1)
+        # Colocation-variant angles: Alice standard, Bob flipped by pi/2.
+        self._alice_bases = [chsh_alice_basis(0), chsh_alice_basis(1)]
+        self._bob_bases = [
+            rotation_basis(math.pi / 8 + math.pi / 2),
+            rotation_basis(-math.pi / 8 + math.pi / 2),
+        ]
+
+    def _advance_to(self, now: float) -> None:
+        round_index = int(now / self._round_length)
+        if round_index != self._round:
+            self._round = round_index
+            self._register = EntangledRegister(self._state)
+            s0 = int(self._rng.integers(0, self._num_servers))
+            s1 = int(self._rng.integers(0, self._num_servers - 1))
+            if s1 >= s0:
+                s1 += 1
+            self._servers = (s0, s1)
+
+    def decide(self, role: int, task: TaskType, now: float) -> int:
+        """Route one request for the balancer with the given role."""
+        if role not in (self.ALICE, self.BOB):
+            raise ConfigurationError(f"bad role {role}")
+        self._advance_to(now)
+        assert self._register is not None
+        if role in self._register.outcomes:
+            # Qubit already consumed this round: no correlation available.
+            return int(self._rng.integers(0, self._num_servers))
+        bases = self._alice_bases if role == self.ALICE else self._bob_bases
+        outcome = self._register.measure(role, bases[task.bit], self._rng)
+        return self._servers[outcome]
+
+
+@dataclass(frozen=True)
+class DESResult:
+    """Outcome of a continuous-time experiment.
+
+    Attributes:
+        delay_stats: queueing-delay statistics across completed requests.
+        mean_queue_length: fleet time-averaged queue length.
+        completed: completed request count.
+    """
+
+    delay_stats: DelayStats
+    mean_queue_length: float
+    completed: int
+
+
+def run_des_experiment(
+    *,
+    num_balancers: int,
+    num_servers: int,
+    policy: str,
+    horizon: float = 200.0,
+    arrival_rate: float = 0.5,
+    service_time: float = 1.0,
+    seed: int = 0,
+    state: StateVector | DensityMatrix | None = None,
+    coordination_rtt: float = 1.0,
+) -> DESResult:
+    """Run the continuous-time experiment for one policy.
+
+    Args:
+        policy: ``"random"``, ``"quantum"`` (CHSH pairs), or
+            ``"coordinated"`` — the §4.1 caveat's communicating
+            balancer: each request first pays ``coordination_rtt`` to
+            query queue lengths, then goes to the least-loaded server.
+            Pre-shared-qubit policies decide instantly; the caveat bench
+            sweeps ``service_time`` against the RTT to find where
+            communication starts to win.
+        arrival_rate: Poisson rate per balancer.
+        service_time: execution time of every task.
+        state: optional noisy shared state for the quantum policy.
+        coordination_rtt: round-trip delay the coordinated policy pays
+            per decision.
+    """
+    if policy not in ("random", "quantum", "coordinated"):
+        raise ConfigurationError(f"unknown policy {policy!r}")
+    if coordination_rtt < 0:
+        raise ConfigurationError("coordination_rtt must be non-negative")
+    env = Environment()
+    servers = [
+        Server(env, service_time=service_time, name=f"s{i}")
+        for i in range(num_servers)
+    ]
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 17]))
+    deciders: dict[int, tuple[QuantumPairDecider, int]] = {}
+    if policy == "quantum":
+        # Rounds sized to the mean inter-arrival gap: roughly one request
+        # per balancer per round, matching the timestep model.
+        round_length = 1.0 / arrival_rate
+        for pair_start in range(0, num_balancers - 1, 2):
+            decider = QuantumPairDecider(
+                num_servers, round_length, rng, state=state
+            )
+            deciders[pair_start] = (decider, QuantumPairDecider.ALICE)
+            deciders[pair_start + 1] = (decider, QuantumPairDecider.BOB)
+
+    delays: list[float] = []
+
+    def balancer_process(env: Environment, balancer_id: int):
+        stream = np.random.default_rng(
+            np.random.SeedSequence([seed, balancer_id])
+        )
+        workload = PoissonArrivals(arrival_rate)
+        last = 0.0
+        for request in workload.arrivals_until(horizon, stream, balancer_id):
+            yield Timeout(env, request.arrival_time - last)
+            last = request.arrival_time
+            if policy == "coordinated":
+                # Decisions pay the RTT but arrivals keep their schedule:
+                # hand the request to a helper that waits, then routes to
+                # the least-loaded server. The RTT lands in the measured
+                # queueing delay because arrival_time predates it.
+                env.process(_coordinated_submit(env, request))
+            else:
+                server_index = _route(
+                    balancer_id, request, env.now, deciders, stream,
+                    num_servers,
+                )
+                done = servers[server_index].submit(request)
+                done.callbacks.append(_collect_delay)
+
+    def _coordinated_submit(env: Environment, request: Request):
+        yield Timeout(env, coordination_rtt)
+        loads = [s.queue_length + (1 if s.busy else 0) for s in servers]
+        done = servers[int(np.argmin(loads))].submit(request)
+        done.callbacks.append(_collect_delay)
+
+    def _collect_delay(event) -> None:
+        request: Request = event.value
+        if request.queueing_delay is not None:
+            delays.append(request.queueing_delay)
+
+    for balancer_id in range(num_balancers):
+        env.process(balancer_process(env, balancer_id))
+    env.run(until=horizon + 50 * service_time)
+
+    metrics = FleetMetrics(servers)
+    return DESResult(
+        delay_stats=DelayStats.from_samples(delays),
+        mean_queue_length=metrics.mean_queue_length(),
+        completed=metrics.total_completed(),
+    )
+
+
+def _route(
+    balancer_id: int,
+    request: Request,
+    now: float,
+    deciders: dict,
+    stream: np.random.Generator,
+    num_servers: int,
+) -> int:
+    if balancer_id in deciders:
+        decider, role = deciders[balancer_id]
+        return decider.decide(role, request.task_type, now)
+    return int(stream.integers(0, num_servers))

@@ -1,0 +1,75 @@
+"""Full-coordination oracle policies (upper bounds, not protocols).
+
+The paper's premise is that explicit coordination "is often prohibitive"
+in latency; these policies deliberately violate the no-communication
+constraint to show what coordination would buy. They bound from above
+every legal policy — classical or quantum — and calibrate how much of
+the gap the CHSH pairs close for free.
+
+Also realizes the §5 remark that testbeds can "cheat" by classically
+simulating quantum correlations when the full request stream is known
+in advance: the oracle sees the entire per-round task vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lb.policies import AssignmentPolicy
+from repro.net.packet import TaskType
+
+__all__ = ["OmniscientAssignment"]
+
+
+class OmniscientAssignment(AssignmentPolicy):
+    """Sees every task and every queue; batches C pairs, spreads E tasks.
+
+    Greedy coordinated heuristic per round:
+
+    1. Pair up the type-C tasks; send each pair to the currently
+       least-loaded server (they will be served together).
+    2. A leftover single C goes to the next least-loaded server.
+    3. Type-E tasks go one each to the least-loaded remaining servers.
+
+    Load accounting uses the observed queue lengths plus the work
+    assigned so far this round (type-E counts one slot, a C-pair one
+    slot, a lone C one slot).
+    """
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        super().__init__(num_balancers, num_servers)
+        self._queues = np.zeros(num_servers)
+
+    def observe_queues(self, queue_lengths):
+        if len(queue_lengths) != self.num_servers:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError("queue observation size mismatch")
+        self._queues = np.asarray(queue_lengths, dtype=float)
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        load = self._queues.copy()
+        choices = [0] * len(tasks)
+        c_indices = [
+            i for i, t in enumerate(tasks) if t is TaskType.COLOCATE
+        ]
+        e_indices = [
+            i for i, t in enumerate(tasks) if t is not TaskType.COLOCATE
+        ]
+        # C pairs first: each pair consumes one service slot.
+        for k in range(0, len(c_indices) - 1, 2):
+            server = int(np.argmin(load))
+            choices[c_indices[k]] = server
+            choices[c_indices[k + 1]] = server
+            load[server] += 1.0
+        if len(c_indices) % 2 == 1:
+            server = int(np.argmin(load))
+            choices[c_indices[-1]] = server
+            load[server] += 1.0
+        # E tasks spread across the least-loaded servers.
+        for index in e_indices:
+            server = int(np.argmin(load))
+            choices[index] = server
+            load[server] += 1.0
+        return choices

@@ -1,0 +1,315 @@
+"""Assignment policies for the Fig 4 timestep simulation.
+
+A policy maps the vector of tasks received this timestep (one per load
+balancer) to a vector of server choices. The no-communication constraint
+of the paper is enforced structurally: each balancer's choice depends
+only on its *own* task, pre-agreed shared randomness (the per-round
+server-pair draw), and — for the quantum policies — the outcome of
+measuring its share of a pre-distributed entangled state.
+
+Policies:
+
+- :class:`RandomAssignment` — the paper's classical baseline.
+- :class:`RoundRobinAssignment` — classical, per-balancer rotation.
+- :class:`PowerOfTwoAssignment` — classical, queue-length feedback
+  (strictly more information than the paper's setting allows; included
+  as an informed reference point).
+- :class:`DedicatedPoolAssignment` — the §4.1 caveat's hybrid: a server
+  pool reserved for type-C tasks.
+- :class:`ClassicalPairedAssignment` — paired balancers playing the best
+  *classical* strategy of the colocation game with shared randomness.
+- :class:`CHSHPairedAssignment` — the paper's quantum policy: paired
+  balancers measure shared (possibly noisy) Bell pairs with the CHSH
+  angles.
+- :class:`GamePairedAssignment` — generic paired policy driven by any
+  two-player strategy's exact behavior (used for XOR-game balancers over
+  multi-subtype workloads).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StrategyError
+from repro.games.chsh import (
+    chsh_colocation_game,
+    colocation_quantum_strategy,
+)
+from repro.games.strategies import Strategy
+from repro.net.packet import TaskType
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "AssignmentPolicy",
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "PowerOfTwoAssignment",
+    "DedicatedPoolAssignment",
+    "GamePairedAssignment",
+    "ClassicalPairedAssignment",
+    "SameTypePairedAssignment",
+    "CHSHPairedAssignment",
+]
+
+
+class AssignmentPolicy:
+    """Interface: map one timestep's tasks to server indices."""
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        if num_balancers < 1:
+            raise ConfigurationError("need at least one balancer")
+        if num_servers < 1:
+            raise ConfigurationError("need at least one server")
+        self.num_balancers = num_balancers
+        self.num_servers = num_servers
+
+    def assign(
+        self, tasks: Sequence[TaskType], rng: np.random.Generator
+    ) -> list[int]:
+        """Return a server index per task. Must not inspect other tasks
+        except through the structured pair protocols."""
+        raise NotImplementedError
+
+    def observe_queues(self, queue_lengths: Sequence[int]) -> None:
+        """Feedback hook; most policies ignore it."""
+
+    def _check(self, tasks: Sequence[TaskType]) -> None:
+        if len(tasks) != self.num_balancers:
+            raise ConfigurationError(
+                f"{len(tasks)} tasks for {self.num_balancers} balancers"
+            )
+
+
+class RandomAssignment(AssignmentPolicy):
+    """Each balancer picks a uniformly random server (paper baseline)."""
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        return list(rng.integers(0, self.num_servers, size=len(tasks)))
+
+
+class RoundRobinAssignment(AssignmentPolicy):
+    """Each balancer cycles through servers from a random start offset."""
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        super().__init__(num_balancers, num_servers)
+        self._next = None
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        if self._next is None:
+            self._next = rng.integers(0, self.num_servers, size=self.num_balancers)
+        choices = [int(c) for c in self._next]
+        self._next = (self._next + 1) % self.num_servers
+        return choices
+
+
+class PowerOfTwoAssignment(AssignmentPolicy):
+    """Sample two servers, pick the one with the shorter observed queue.
+
+    Queue observations arrive via :meth:`observe_queues` at the end of
+    each timestep, so choices use slightly stale state — the standard
+    power-of-two-choices setup [44].
+    """
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        super().__init__(num_balancers, num_servers)
+        self._queues = np.zeros(num_servers)
+
+    def observe_queues(self, queue_lengths):
+        if len(queue_lengths) != self.num_servers:
+            raise ConfigurationError("queue observation size mismatch")
+        self._queues = np.asarray(queue_lengths, dtype=float)
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        first = rng.integers(0, self.num_servers, size=len(tasks))
+        second = rng.integers(0, self.num_servers, size=len(tasks))
+        return [
+            int(f) if self._queues[f] <= self._queues[s] else int(s)
+            for f, s in zip(first, second)
+        ]
+
+
+class DedicatedPoolAssignment(AssignmentPolicy):
+    """Reserve a fraction of servers for type-C tasks (§4.1 caveat).
+
+    Type-C goes uniformly into the pool; type-E uniformly into the rest.
+    Breaks down when type-C has incompatible subtypes — the pool mixes
+    them (see the hybrid ablation bench).
+    """
+
+    def __init__(
+        self, num_balancers: int, num_servers: int, pool_fraction: float = 0.5
+    ) -> None:
+        super().__init__(num_balancers, num_servers)
+        if not 0.0 < pool_fraction < 1.0:
+            raise ConfigurationError(
+                f"pool_fraction {pool_fraction} must be in (0, 1)"
+            )
+        self.pool_size = max(1, min(num_servers - 1, round(num_servers * pool_fraction)))
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        choices = []
+        for task in tasks:
+            if task is TaskType.COLOCATE:
+                choices.append(int(rng.integers(0, self.pool_size)))
+            else:
+                choices.append(int(rng.integers(self.pool_size, self.num_servers)))
+        return choices
+
+
+def _default_task_to_input(task) -> int:
+    """Map a task to a game input: ints pass through, TaskType uses
+    the paper's bit encoding (1 = type-C)."""
+    if isinstance(task, int):
+        return task
+    return task.bit
+
+
+class GamePairedAssignment(AssignmentPolicy):
+    """Paired balancers playing a two-player strategy over random server pairs.
+
+    Each round, consecutive balancers ``(2k, 2k+1)`` form a pair. The pair
+    draws two distinct servers ``(s0, s1)`` from shared randomness, plays
+    the strategy on inputs ``(x, y)`` derived from their task types, and
+    balancer ``2k`` routes to ``s[a]`` while ``2k+1`` routes to ``s[b]``.
+    Equal outputs colocate the two tasks; differing outputs separate them.
+
+    The strategy's exact behavior ``p(a, b | x, y)`` is precomputed, so
+    quantum strategies sample their true Born-rule statistics without
+    re-simulating state collapse per round (tests confirm equivalence to
+    the explicit :class:`~repro.quantum.measurement.EntangledRegister`
+    path). An odd balancer count leaves the last balancer routing
+    uniformly at random.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        strategy: Strategy,
+        *,
+        task_to_input=None,
+        sticky_servers: bool = False,
+    ) -> None:
+        super().__init__(num_balancers, num_servers)
+        if num_servers < 2:
+            raise ConfigurationError("paired policies need >= 2 servers")
+        behavior = strategy.behavior()
+        if behavior.shape[2] != 2 or behavior.shape[3] != 2:
+            raise StrategyError("paired policies need binary-output strategies")
+        self._num_inputs = behavior.shape[:2]
+        # Flatten p(a,b|x,y) into cumulative tables for fast sampling.
+        self._cumulative = behavior.reshape(
+            behavior.shape[0], behavior.shape[1], 4
+        ).cumsum(axis=2)
+        self._task_to_input = task_to_input or _default_task_to_input
+        # Pair-selection policy (DESIGN.md ablation): by default each
+        # pair draws a fresh random server pair every round; sticky pairs
+        # keep the first draw forever, concentrating their load.
+        self._sticky = sticky_servers
+        self._sticky_servers: dict[int, tuple[int, int]] = {}
+
+    def _server_pair(
+        self, pair_index: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        if self._sticky and pair_index in self._sticky_servers:
+            return self._sticky_servers[pair_index]
+        s0 = int(rng.integers(0, self.num_servers))
+        s1 = int(rng.integers(0, self.num_servers - 1))
+        if s1 >= s0:
+            s1 += 1
+        if self._sticky:
+            self._sticky_servers[pair_index] = (s0, s1)
+        return s0, s1
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        choices: list[int] = [0] * len(tasks)
+        num_pairs = len(tasks) // 2
+        for k in range(num_pairs):
+            i, j = 2 * k, 2 * k + 1
+            s0, s1 = self._server_pair(k, rng)
+            x = self._task_to_input(tasks[i])
+            y = self._task_to_input(tasks[j])
+            if not (0 <= x < self._num_inputs[0]) or not (
+                0 <= y < self._num_inputs[1]
+            ):
+                raise StrategyError(
+                    f"task inputs ({x},{y}) outside the strategy's alphabet"
+                )
+            u = rng.random()
+            index = int(np.searchsorted(self._cumulative[x, y], u, side="right"))
+            index = min(index, 3)
+            a, b = divmod(index, 2)
+            pair = (s0, s1)
+            choices[i] = pair[a]
+            choices[j] = pair[b]
+        if len(tasks) % 2 == 1:
+            choices[-1] = int(rng.integers(0, self.num_servers))
+        return choices
+
+
+class ClassicalPairedAssignment(GamePairedAssignment):
+    """Paired policy with the *optimal classical* colocation strategy.
+
+    The colocation game's classical value is 3/4; the optimal
+    deterministic strategy has the pair always split (``a=0, b=1``),
+    which wins every input pair except both-type-C. This is the fairest
+    classical baseline for the CHSH policy — same pairing, same shared
+    randomness, no entanglement.
+    """
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        from repro.games.strategies import DeterministicStrategy
+
+        game = chsh_colocation_game()
+        alice, bob = game.best_classical_strategy()
+        strategy = DeterministicStrategy(outputs_a=alice, outputs_b=bob)
+        super().__init__(num_balancers, num_servers, strategy)
+
+
+class SameTypePairedAssignment(GamePairedAssignment):
+    """Deterministic classical pairs that colocate equal task types.
+
+    Both members output bit 0 on type-C and bit 1 on type-E, so CC pairs
+    always share a server (full batching win), CE/EC pairs always split,
+    and the price is a guaranteed EE collision. Wins the colocation game
+    on 3 of 4 input pairs — a *different* optimal classical point than
+    :class:`ClassicalPairedAssignment` (which never colocates), and the
+    strongest classical baseline for the queueing objective: it trades
+    imbalance (EE collisions) for work saving (perfect CC batching).
+
+    The reproduction finding (EXPERIMENTS.md): quantum CHSH pairs beat
+    this baseline at moderate loads, where EE collisions hurt latency,
+    while in deep overload the work-maximizer catches up — the paper's
+    Fig 4 compares only against uniform random.
+    """
+
+    def __init__(self, num_balancers: int, num_servers: int) -> None:
+        from repro.games.strategies import DeterministicStrategy
+
+        strategy = DeterministicStrategy(outputs_a=(1, 0), outputs_b=(1, 0))
+        super().__init__(num_balancers, num_servers, strategy)
+
+
+class CHSHPairedAssignment(GamePairedAssignment):
+    """The paper's quantum policy: CHSH measurements on shared Bell pairs.
+
+    ``state`` defaults to a perfect Bell pair; pass a Werner or isotropic
+    state (or any two-qubit density matrix) to model hardware noise.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        *,
+        state: StateVector | DensityMatrix | None = None,
+    ) -> None:
+        strategy = colocation_quantum_strategy(state)
+        super().__init__(num_balancers, num_servers, strategy)

@@ -1,0 +1,215 @@
+"""The Fig 4 timestep simulation harness.
+
+Model (paper §4.1, "Simulation study"): at each timestep every one of
+``N`` load balancers receives a type-C or type-E request with equal
+probability and immediately forwards it to one of ``M`` servers according
+to its policy. Servers then serve their queues: two type-C requests
+simultaneously first, otherwise one type-E request (footnote 2 offers
+alternative disciplines; several are implemented for the robustness
+ablation). The reported metric is the time-averaged queue length as a
+function of load ``N/M``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lb.policies import AssignmentPolicy
+from repro.net.packet import TaskType
+from repro.net.workload import BernoulliTaskMix
+
+__all__ = [
+    "ServiceDiscipline",
+    "SimulationResult",
+    "run_timestep_simulation",
+    "SERVICE_DISCIPLINES",
+]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one timestep simulation run.
+
+    Attributes:
+        mean_queue_length: time-averaged total queue length per server
+            (Fig 4's y-axis).
+        mean_queueing_delay: average steps a served task waited.
+        served: tasks completed.
+        arrived: tasks that arrived after warmup accounting started.
+        timesteps: measured (post-warmup) steps.
+        load: offered load ``N/M``.
+    """
+
+    mean_queue_length: float
+    mean_queueing_delay: float
+    served: int
+    arrived: int
+    timesteps: int
+    load: float
+
+
+def _serve_paper(queue: deque, now: int, waits: list[int]) -> int:
+    """Up to two type-C requests in parallel, else one type-E (paper rule)."""
+    served = 0
+    if any(task for task, _ in queue if task is TaskType.COLOCATE):
+        for _ in range(2):
+            index = _find(queue, TaskType.COLOCATE)
+            if index is None:
+                break
+            waits.append(now - _pop(queue, index))
+            served += 1
+    elif queue:
+        waits.append(now - _pop(queue, 0))
+        served = 1
+    return served
+
+
+def _serve_fifo(queue: deque, now: int, waits: list[int]) -> int:
+    """Strict head-of-line service; a second C rides along only if it is
+    immediately behind the first."""
+    if not queue:
+        return 0
+    head_type, arrival = queue.popleft()
+    waits.append(now - arrival)
+    served = 1
+    if head_type is TaskType.COLOCATE and queue:
+        next_type, next_arrival = queue[0]
+        if next_type is TaskType.COLOCATE:
+            queue.popleft()
+            waits.append(now - next_arrival)
+            served = 2
+    return served
+
+
+def _serve_serial(queue: deque, now: int, waits: list[int]) -> int:
+    """One request per step, type-C first — no parallel C execution."""
+    if not queue:
+        return 0
+    index = _find(queue, TaskType.COLOCATE)
+    if index is None:
+        index = 0
+    waits.append(now - _pop(queue, index))
+    return 1
+
+
+#: Service disciplines available to the harness (footnote 2 ablation).
+SERVICE_DISCIPLINES = {
+    "paper": _serve_paper,
+    "fifo": _serve_fifo,
+    "serial": _serve_serial,
+}
+
+ServiceDiscipline = str
+
+
+def _find(queue: deque, task_type: TaskType) -> int | None:
+    for i, (task, _) in enumerate(queue):
+        if task is task_type:
+            return i
+    return None
+
+
+def _pop(queue: deque, index: int) -> int:
+    """Remove entry ``index`` and return its arrival time."""
+    queue.rotate(-index)
+    _, arrival = queue.popleft()
+    queue.rotate(index)
+    return arrival
+
+
+def run_timestep_simulation(
+    policy: AssignmentPolicy,
+    *,
+    timesteps: int = 1000,
+    seed: int = 0,
+    discipline: ServiceDiscipline = "paper",
+    p_colocate: float = 0.5,
+    warmup_fraction: float = 0.2,
+    max_total_queue: float = float("inf"),
+    workload=None,
+) -> SimulationResult:
+    """Run the Fig 4 experiment for one policy and return its metrics.
+
+    Args:
+        policy: assignment policy (carries N and M).
+        timesteps: total steps; the first ``warmup_fraction`` are excluded
+            from averages.
+        seed: root seed (workload and policy use separate streams).
+        discipline: one of :data:`SERVICE_DISCIPLINES`.
+        p_colocate: probability a task is type-C (paper: 0.5).
+        warmup_fraction: fraction of steps treated as warmup.
+        max_total_queue: optional safety valve — stop early if the system
+            is so overloaded the total queue exceeds this (the averages
+            then reflect a clearly-unstable system).
+        workload: optional draw-compatible workload (e.g. a
+            :class:`~repro.net.trace.TraceReplayer`) replacing the
+            Bernoulli mix; must cover the policy's balancer count.
+    """
+    if timesteps < 1:
+        raise ConfigurationError("need at least one timestep")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError(f"bad warmup fraction {warmup_fraction}")
+    if discipline not in SERVICE_DISCIPLINES:
+        raise ConfigurationError(
+            f"unknown discipline {discipline!r}; "
+            f"options: {sorted(SERVICE_DISCIPLINES)}"
+        )
+    serve = SERVICE_DISCIPLINES[discipline]
+    num_servers = policy.num_servers
+    if workload is None:
+        workload = BernoulliTaskMix(policy.num_balancers, p_colocate)
+    elif getattr(workload, "num_balancers", None) != policy.num_balancers:
+        raise ConfigurationError(
+            f"workload covers {getattr(workload, 'num_balancers', '?')} "
+            f"balancers, policy needs {policy.num_balancers}"
+        )
+    workload_rng = np.random.default_rng(np.random.SeedSequence([seed, 1]))
+    policy_rng = np.random.default_rng(np.random.SeedSequence([seed, 2]))
+
+    queues: list[deque] = [deque() for _ in range(num_servers)]
+    warmup = int(timesteps * warmup_fraction)
+    queue_length_sum = 0.0
+    waits: list[int] = []
+    served = 0
+    arrived = 0
+    measured_steps = 0
+
+    for step in range(timesteps):
+        measuring = step >= warmup
+        tasks = workload.draw(workload_rng)
+        choices = policy.assign(tasks, policy_rng)
+        for task, server in zip(tasks, choices):
+            if not 0 <= server < num_servers:
+                raise ConfigurationError(
+                    f"policy chose invalid server {server}"
+                )
+            queues[server].append((task, step))
+        if measuring:
+            arrived += len(tasks)
+        step_waits: list[int] = []
+        for queue in queues:
+            served_here = serve(queue, step, step_waits)
+            if measuring:
+                served += served_here
+        if measuring:
+            waits.extend(step_waits)
+            queue_length_sum += sum(len(q) for q in queues) / num_servers
+            measured_steps += 1
+        policy.observe_queues([len(q) for q in queues])
+        if sum(len(q) for q in queues) > max_total_queue:
+            break
+
+    mean_queue = queue_length_sum / max(1, measured_steps)
+    mean_wait = float(np.mean(waits)) if waits else 0.0
+    return SimulationResult(
+        mean_queue_length=mean_queue,
+        mean_queueing_delay=mean_wait,
+        served=served,
+        arrived=arrived,
+        timesteps=measured_steps,
+        load=policy.num_balancers / num_servers,
+    )

@@ -1,0 +1,77 @@
+"""Load sweeps: regenerate the Fig 4 curve for any set of policies."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.lb.policies import AssignmentPolicy
+from repro.lb.simulation import SimulationResult, run_timestep_simulation
+
+__all__ = ["LoadSweepPoint", "sweep_load", "knee_load"]
+
+PolicyFactory = Callable[[int, int], AssignmentPolicy]
+
+
+@dataclass(frozen=True)
+class LoadSweepPoint:
+    """One (load, result) pair of a sweep."""
+
+    load: float
+    num_servers: int
+    result: SimulationResult
+
+
+def sweep_load(
+    policy_factory: PolicyFactory,
+    *,
+    num_balancers: int = 100,
+    loads: Sequence[float] = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0),
+    timesteps: int = 1000,
+    seed: int = 0,
+    discipline: str = "paper",
+    p_colocate: float = 0.5,
+) -> list[LoadSweepPoint]:
+    """Run the Fig 4 experiment across a load (``N/M``) sweep.
+
+    ``policy_factory(num_balancers, num_servers)`` builds a fresh policy
+    per point (policies may carry state such as round-robin counters).
+    """
+    if not loads:
+        raise ConfigurationError("need at least one load point")
+    points = []
+    for load in loads:
+        if load <= 0:
+            raise ConfigurationError(f"load must be positive, got {load}")
+        num_servers = max(1, round(num_balancers / load))
+        policy = policy_factory(num_balancers, num_servers)
+        result = run_timestep_simulation(
+            policy,
+            timesteps=timesteps,
+            seed=seed,
+            discipline=discipline,
+            p_colocate=p_colocate,
+        )
+        points.append(
+            LoadSweepPoint(
+                load=num_balancers / num_servers,
+                num_servers=num_servers,
+                result=result,
+            )
+        )
+    return points
+
+
+def knee_load(
+    points: Sequence[LoadSweepPoint], *, queue_threshold: float = 5.0
+) -> float:
+    """The first swept load whose mean queue length crosses a threshold.
+
+    A simple, monotone proxy for Fig 4's "knee point — where queue length
+    begins to increase rapidly". Returns ``inf`` when no point crosses.
+    """
+    for point in sorted(points, key=lambda p: p.load):
+        if point.result.mean_queue_length >= queue_threshold:
+            return point.load
+    return float("inf")

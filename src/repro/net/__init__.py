@@ -1,0 +1,23 @@
+"""Network substrate: requests, links, servers, workloads, metrics."""
+
+from repro.net.link import Link
+from repro.net.metrics import DelayStats, FleetMetrics
+from repro.net.packet import Packet, Request, TaskType
+from repro.net.server import Server
+from repro.net.trace import Trace, record_bernoulli_trace
+from repro.net.workload import BernoulliTaskMix, PoissonArrivals, SubtypedTaskMix
+
+__all__ = [
+    "Link",
+    "DelayStats",
+    "FleetMetrics",
+    "Packet",
+    "Request",
+    "TaskType",
+    "Server",
+    "Trace",
+    "record_bernoulli_trace",
+    "BernoulliTaskMix",
+    "PoissonArrivals",
+    "SubtypedTaskMix",
+]

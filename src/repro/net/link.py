@@ -1,0 +1,85 @@
+"""Point-to-point links with propagation delay.
+
+Models both the classical datacenter network and the quantum fiber of
+Fig 1. The paper's timing argument (Fig 2) is that pre-shared qubits let
+decisions happen *without* paying this delay; the DES caveat studies use
+links to quantify what communication-based coordination would cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.sim.core import Environment, Event, Timeout
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional link with propagation delay and optional bandwidth.
+
+    ``transmit`` returns an event that fires when the payload arrives at
+    the far end; an optional ``on_deliver`` callback receives it there.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        propagation_delay: float,
+        *,
+        bandwidth: float | None = None,
+        name: str = "",
+    ) -> None:
+        if propagation_delay < 0:
+            raise NetworkError(f"negative propagation delay {propagation_delay}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise NetworkError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.propagation_delay = propagation_delay
+        self.bandwidth = bandwidth
+        self.name = name
+        self._busy_until = 0.0
+        self.delivered = 0
+
+    def transmit(
+        self,
+        payload: Any,
+        size: float = 1.0,
+        on_deliver: Callable[[Any], None] | None = None,
+    ) -> Event:
+        """Send ``payload``; returns the arrival event.
+
+        With a bandwidth cap, transmissions serialize: the next one
+        starts after the previous finishes pushing its bits.
+        """
+        if size <= 0:
+            raise NetworkError(f"payload size must be positive, got {size}")
+        now = self.env.now
+        if self.bandwidth is None:
+            transmit_time = 0.0
+            start = now
+        else:
+            transmit_time = size / self.bandwidth
+            start = max(now, self._busy_until)
+            self._busy_until = start + transmit_time
+        total_delay = (start - now) + transmit_time + self.propagation_delay
+        arrival = Timeout(self.env, total_delay, value=payload)
+        if on_deliver is not None:
+            arrival.callbacks.append(lambda event: on_deliver(event.value))
+        arrival.callbacks.append(self._count)
+        return arrival
+
+    def _count(self, _event: Event) -> None:
+        self.delivered += 1
+
+    def rtt(self) -> float:
+        """Round-trip propagation time (ignores bandwidth)."""
+        return 2.0 * self.propagation_delay
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name or 'unnamed'!r}, "
+            f"delay={self.propagation_delay}, bandwidth={self.bandwidth})"
+        )

@@ -1,0 +1,65 @@
+"""Fleet-level metrics for load-balancing experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.server import Server
+
+__all__ = ["FleetMetrics", "DelayStats"]
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Summary statistics of a collection of delays."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "DelayStats":
+        """Compute stats; raises on empty input."""
+        if not samples:
+            raise NetworkError("no delay samples collected")
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            count=len(samples),
+        )
+
+
+class FleetMetrics:
+    """Aggregates queue metrics across a fleet of DES servers."""
+
+    def __init__(self, servers: list[Server]) -> None:
+        if not servers:
+            raise NetworkError("fleet must contain at least one server")
+        self._servers = servers
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged queue length, averaged over servers (Fig 4 y-axis)."""
+        return float(
+            np.mean([s.queue_metric.time_average() for s in self._servers])
+        )
+
+    def total_completed(self) -> int:
+        """Requests completed across the fleet."""
+        return sum(s.completed for s in self._servers)
+
+    def instantaneous_queue_lengths(self) -> np.ndarray:
+        """Current queue lengths (for imbalance snapshots)."""
+        return np.array([s.queue_length for s in self._servers])
+
+    def imbalance(self) -> float:
+        """Max-minus-mean of current queue lengths."""
+        lengths = self.instantaneous_queue_lengths()
+        return float(lengths.max() - lengths.mean())

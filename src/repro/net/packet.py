@@ -1,0 +1,90 @@
+"""Request and packet types shared across the network substrate."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["TaskType", "Request", "Packet"]
+
+
+class TaskType(enum.Enum):
+    """The paper's two task classes (§4.1).
+
+    COLOCATE ("type-C") tasks benefit from sharing a server — shared
+    caches, in-memory objects, or parallel execution. EXCLUSIVE
+    ("type-E") tasks want the server to themselves.
+    """
+
+    COLOCATE = "C"
+    EXCLUSIVE = "E"
+
+    @property
+    def bit(self) -> int:
+        """Game-input encoding: 1 for type-C, 0 for type-E (paper §4.1)."""
+        return 1 if self is TaskType.COLOCATE else 0
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "TaskType":
+        """Inverse of :attr:`bit`."""
+        return cls.COLOCATE if bit else cls.EXCLUSIVE
+
+
+_request_ids = itertools.count()
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """An application-level request handled by a load balancer.
+
+    Attributes:
+        task_type: colocate/exclusive class.
+        arrival_time: when the request reached the balancer.
+        source: identifier of the balancer that received it.
+        subtype: optional sub-class for multi-subtype workloads (the
+            §4.1 caveat about "multiple subtypes of type-C tasks").
+        request_id: unique id assigned at creation.
+    """
+
+    task_type: TaskType
+    arrival_time: float = 0.0
+    source: int = 0
+    subtype: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    start_service_time: float | None = None
+    completion_time: float | None = None
+
+    @property
+    def queueing_delay(self) -> float | None:
+        """Arrival-to-service-start delay, once known."""
+        if self.start_service_time is None:
+            return None
+        return self.start_service_time - self.arrival_time
+
+    @property
+    def total_delay(self) -> float | None:
+        """Arrival-to-completion delay, once known."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+
+@dataclass
+class Packet:
+    """A network packet for the ECMP substrate.
+
+    Attributes:
+        flow_id: flow identifier (ECMP hashes on this per-flow).
+        size: abstract size units (transmission time scales with it).
+        source / destination: endpoint identifiers.
+    """
+
+    flow_id: int
+    size: float = 1.0
+    source: int = 0
+    destination: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    send_time: float = 0.0
+    arrival_time: float | None = None

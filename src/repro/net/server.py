@@ -1,0 +1,138 @@
+"""Continuous-time server model with the paper's service semantics.
+
+The paper's Fig 4 uses a synchronous timestep model (implemented in
+:mod:`repro.lb.simulation`); this DES server is the continuous-time
+analogue used by the caveat studies in §4.1 (task execution time vs
+round-trip time):
+
+- type-C requests share the machine: up to two run concurrently, each
+  taking ``service_time``;
+- type-E requests demand exclusivity: one at a time, with nothing else
+  running.
+
+Type-C requests are served before queued type-E requests, mirroring the
+paper's "two type-C requests first, followed by type-E" rule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import NetworkError
+from repro.net.packet import Request, TaskType
+from repro.sim.core import Environment, Event, Timeout
+from repro.sim.monitor import TimeWeightedValue
+
+__all__ = ["Server"]
+
+
+class Server:
+    """A worker that serves colocatable and exclusive requests.
+
+    Submit with :meth:`submit`; completion events let callers measure
+    delays. Queue length (waiting requests) is tracked time-weighted for
+    Fig 4-style averages.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        *,
+        service_time: float = 1.0,
+        colocation_slots: int = 2,
+        name: str = "",
+    ) -> None:
+        if service_time <= 0:
+            raise NetworkError(f"service_time must be positive: {service_time}")
+        if colocation_slots < 1:
+            raise NetworkError(
+                f"colocation_slots must be >= 1: {colocation_slots}"
+            )
+        self.env = env
+        self.name = name
+        self.service_time = service_time
+        self.colocation_slots = colocation_slots
+        self._queue: deque[tuple[Request, Event]] = deque()
+        self._running_c = 0
+        self._running_e = 0
+        self.queue_metric = TimeWeightedValue(env, initial=0.0)
+        self.completed = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not yet in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True when anything is running."""
+        return self._running_c > 0 or self._running_e > 0
+
+    def submit(self, request: Request) -> Event:
+        """Enqueue a request; the returned event fires at completion."""
+        done = Event(self.env)
+        self._queue.append((request, done))
+        self.queue_metric.set(len(self._queue))
+        self._dispatch()
+        return done
+
+    def _dispatch(self) -> None:
+        """Start whatever the service discipline allows right now."""
+        started = True
+        while started and self._queue:
+            started = False
+            if self._running_e > 0:
+                return  # an exclusive task owns the machine
+            # Serve type-C first, up to the slot limit.
+            index = self._find_next(TaskType.COLOCATE)
+            if index is not None and self._running_c < self.colocation_slots:
+                request, done = self._pop(index)
+                self._start(request, done, is_exclusive=False)
+                started = True
+                continue
+            # Otherwise an exclusive task may start only on an idle machine.
+            index = self._find_next(TaskType.EXCLUSIVE)
+            if index is not None and self._running_c == 0:
+                request, done = self._pop(index)
+                self._start(request, done, is_exclusive=True)
+                started = True
+
+    def _find_next(self, task_type: TaskType) -> int | None:
+        for i, (request, _) in enumerate(self._queue):
+            if request.task_type is task_type:
+                return i
+        return None
+
+    def _pop(self, index: int) -> tuple[Request, Event]:
+        self._queue.rotate(-index)
+        item = self._queue.popleft()
+        self._queue.rotate(index)
+        self.queue_metric.set(len(self._queue))
+        return item
+
+    def _start(self, request: Request, done: Event, *, is_exclusive: bool) -> None:
+        request.start_service_time = self.env.now
+        if is_exclusive:
+            self._running_e += 1
+        else:
+            self._running_c += 1
+        finish = Timeout(self.env, self.service_time)
+        finish.callbacks.append(
+            lambda _e: self._finish(request, done, is_exclusive)
+        )
+
+    def _finish(self, request: Request, done: Event, is_exclusive: bool) -> None:
+        if is_exclusive:
+            self._running_e -= 1
+        else:
+            self._running_c -= 1
+        request.completion_time = self.env.now
+        self.completed += 1
+        done.succeed(request)
+        self._dispatch()
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.name or 'unnamed'!r}, queue={self.queue_length}, "
+            f"running_c={self._running_c}, running_e={self._running_e})"
+        )

@@ -1,0 +1,160 @@
+"""Trace-driven workloads: record, save, replay.
+
+Production studies replay captured request streams rather than
+synthetic draws (and the paper's §5 notes testbeds know the full
+request stream in advance). A :class:`Trace` holds per-round task
+vectors; it can be recorded from any generator, round-tripped through
+CSV, and fed to the timestep simulation in place of the Bernoulli mix.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.packet import TaskType
+from repro.net.workload import BernoulliTaskMix
+
+__all__ = ["Trace", "record_bernoulli_trace"]
+
+
+@dataclass
+class Trace:
+    """A replayable sequence of per-round task vectors.
+
+    Attributes:
+        rounds: list of task-type lists, one inner list per timestep;
+            every round must cover the same number of balancers.
+    """
+
+    rounds: list[list[TaskType]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        widths = {len(r) for r in self.rounds}
+        if len(widths) > 1:
+            raise ConfigurationError(
+                f"rounds have inconsistent balancer counts: {sorted(widths)}"
+            )
+
+    @property
+    def num_rounds(self) -> int:
+        """Recorded timesteps."""
+        return len(self.rounds)
+
+    @property
+    def num_balancers(self) -> int:
+        """Balancers per round (0 for an empty trace)."""
+        return len(self.rounds[0]) if self.rounds else 0
+
+    def append(self, tasks: list[TaskType]) -> None:
+        """Record one round."""
+        if self.rounds and len(tasks) != self.num_balancers:
+            raise ConfigurationError(
+                f"round has {len(tasks)} tasks, trace uses "
+                f"{self.num_balancers}"
+            )
+        self.rounds.append(list(tasks))
+
+    def replayer(self, *, cycle: bool = False) -> "TraceReplayer":
+        """A draw-compatible workload that replays this trace."""
+        return TraceReplayer(self, cycle=cycle)
+
+    def colocate_fraction(self) -> float:
+        """Overall fraction of type-C tasks."""
+        total = sum(len(r) for r in self.rounds)
+        if total == 0:
+            raise ConfigurationError("empty trace")
+        hits = sum(
+            1 for r in self.rounds for t in r if t is TaskType.COLOCATE
+        )
+        return hits / total
+
+    # -- serialization ------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """One line per round; tasks as single letters (C/E)."""
+        out = io.StringIO()
+        out.write("round,tasks\n")
+        for index, tasks in enumerate(self.rounds):
+            letters = "".join(t.value for t in tasks)
+            out.write(f"{index},{letters}\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_csv`."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines or lines[0] != "round,tasks":
+            raise ConfigurationError("missing 'round,tasks' CSV header")
+        rounds = []
+        for line in lines[1:]:
+            try:
+                _, letters = line.split(",", 1)
+            except ValueError as exc:
+                raise ConfigurationError(f"malformed trace line {line!r}") from exc
+            try:
+                rounds.append([TaskType(ch) for ch in letters])
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"unknown task letter in {letters!r}"
+                ) from exc
+        return cls(rounds=rounds)
+
+    def save(self, path: str | Path) -> None:
+        """Write the CSV form to a file."""
+        Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace from a CSV file."""
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))
+
+
+class TraceReplayer:
+    """Workload adapter replaying a :class:`Trace` round by round.
+
+    Implements the same ``draw(rng) -> list[TaskType]`` interface as
+    :class:`~repro.net.workload.BernoulliTaskMix` (the rng is unused —
+    the trace is deterministic).
+    """
+
+    def __init__(self, trace: Trace, *, cycle: bool = False) -> None:
+        if trace.num_rounds == 0:
+            raise ConfigurationError("cannot replay an empty trace")
+        self._trace = trace
+        self._cycle = cycle
+        self._cursor = 0
+        self.num_balancers = trace.num_balancers
+
+    def draw(self, rng: np.random.Generator) -> list[TaskType]:
+        """Next round's tasks; cycles or raises at exhaustion."""
+        if self._cursor >= self._trace.num_rounds:
+            if not self._cycle:
+                raise ConfigurationError(
+                    f"trace exhausted after {self._trace.num_rounds} rounds"
+                )
+            self._cursor = 0
+        tasks = self._trace.rounds[self._cursor]
+        self._cursor += 1
+        return list(tasks)
+
+
+def record_bernoulli_trace(
+    num_balancers: int,
+    num_rounds: int,
+    rng: np.random.Generator,
+    *,
+    p_colocate: float = 0.5,
+) -> Trace:
+    """Record a Bernoulli workload into a replayable trace."""
+    if num_rounds < 1:
+        raise ConfigurationError("need at least one round")
+    mix = BernoulliTaskMix(num_balancers, p_colocate)
+    trace = Trace()
+    for _ in range(num_rounds):
+        trace.append(mix.draw(rng))
+    return trace

@@ -1,0 +1,125 @@
+"""Exact simulation of small quantum systems.
+
+This subpackage is the repo's substitute for physical quantum hardware
+(see DESIGN.md §2). It provides state vectors, density matrices, gates,
+arbitrary-basis projective measurement, entangled state constructors, and
+Kraus noise channels — everything the paper's protocols consume.
+"""
+
+from repro.quantum.bases import (
+    MeasurementBasis,
+    bloch_basis,
+    chsh_alice_basis,
+    chsh_bob_basis,
+    computational_basis,
+    hadamard_basis,
+    observable_for_basis,
+    rotation_basis,
+)
+from repro.quantum.channels import (
+    Channel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    compose,
+    dephasing,
+    depolarizing,
+    erasure_as_depolarizing,
+    identity_channel,
+    phase_flip,
+)
+from repro.quantum.entangle import (
+    bell_pair,
+    bell_state,
+    ghz_state,
+    isotropic_state,
+    w_state,
+    werner_state,
+)
+from repro.quantum.measurement import (
+    EntangledRegister,
+    MeasurementOutcome,
+    Qubit,
+    measure_density_matrix,
+    measure_qubit,
+    measure_state_vector,
+    outcome_probabilities,
+    povm_measure,
+)
+from repro.quantum.random_states import (
+    random_density_matrix,
+    random_pure_density,
+    random_state_vector,
+    random_unitary,
+)
+from repro.quantum.bloch import (
+    basis_direction,
+    basis_from_direction,
+    bloch_to_state,
+    purity_from_bloch,
+    state_to_bloch,
+)
+from repro.quantum.circuit import Circuit, Operation
+from repro.quantum.state import DensityMatrix, StateVector
+from repro.quantum.tomography import (
+    linear_inversion,
+    pauli_expectations,
+    pauli_labels,
+    project_to_density_matrix,
+    sampled_pauli_expectations,
+    tomography,
+)
+
+__all__ = [
+    "MeasurementBasis",
+    "bloch_basis",
+    "chsh_alice_basis",
+    "chsh_bob_basis",
+    "computational_basis",
+    "hadamard_basis",
+    "observable_for_basis",
+    "rotation_basis",
+    "Channel",
+    "amplitude_damping",
+    "bit_flip",
+    "bit_phase_flip",
+    "compose",
+    "dephasing",
+    "depolarizing",
+    "erasure_as_depolarizing",
+    "identity_channel",
+    "phase_flip",
+    "bell_pair",
+    "bell_state",
+    "ghz_state",
+    "isotropic_state",
+    "w_state",
+    "werner_state",
+    "EntangledRegister",
+    "MeasurementOutcome",
+    "Qubit",
+    "measure_density_matrix",
+    "measure_qubit",
+    "measure_state_vector",
+    "outcome_probabilities",
+    "povm_measure",
+    "random_density_matrix",
+    "random_pure_density",
+    "random_state_vector",
+    "random_unitary",
+    "DensityMatrix",
+    "StateVector",
+    "basis_direction",
+    "basis_from_direction",
+    "bloch_to_state",
+    "purity_from_bloch",
+    "state_to_bloch",
+    "Circuit",
+    "Operation",
+    "linear_inversion",
+    "pauli_expectations",
+    "pauli_labels",
+    "project_to_density_matrix",
+    "sampled_pauli_expectations",
+    "tomography",
+]

@@ -1,0 +1,183 @@
+"""Measurement bases and binary observables.
+
+The paper's protocols measure single qubits in bases of the form
+``{cos(theta)|0> + sin(theta)|1>, -sin(theta)|0> + cos(theta)|1>}``
+(real rotations of the computational basis). :class:`MeasurementBasis`
+generalizes this to any orthonormal basis of ``C^2`` and to multi-qubit
+product bases; :func:`rotation_basis` builds the paper's family.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DimensionError, MeasurementError
+from repro.quantum.linalg import (
+    as_complex_array,
+    dagger,
+    kron_all,
+    num_qubits_of_dim,
+    outer,
+)
+
+__all__ = [
+    "MeasurementBasis",
+    "computational_basis",
+    "hadamard_basis",
+    "rotation_basis",
+    "observable_for_basis",
+    "bloch_basis",
+    "chsh_alice_basis",
+    "chsh_bob_basis",
+]
+
+
+@dataclass(frozen=True)
+class MeasurementBasis:
+    """An orthonormal measurement basis over one or more qubits.
+
+    Attributes:
+        vectors: tuple of basis vectors; outcome ``k`` corresponds to
+            ``vectors[k]``.
+        label: human-readable name used in logs and reprs.
+    """
+
+    vectors: tuple[np.ndarray, ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.vectors:
+            raise MeasurementError("a basis needs at least one vector")
+        dim = self.vectors[0].shape[0]
+        num_qubits_of_dim(dim)
+        matrix = np.column_stack(
+            [as_complex_array(v).reshape(-1) for v in self.vectors]
+        )
+        if matrix.shape != (dim, len(self.vectors)) or len(self.vectors) != dim:
+            raise MeasurementError(
+                f"expected {dim} basis vectors of dim {dim}, "
+                f"got {len(self.vectors)}"
+            )
+        if not np.allclose(dagger(matrix) @ matrix, np.eye(dim), atol=1e-8):
+            raise MeasurementError(f"basis {self.label!r} is not orthonormal")
+        object.__setattr__(
+            self, "vectors", tuple(matrix[:, k].copy() for k in range(dim))
+        )
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the basis spans."""
+        return self.vectors[0].shape[0]
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the basis measures."""
+        return num_qubits_of_dim(self.dim)
+
+    @property
+    def num_outcomes(self) -> int:
+        """Number of measurement outcomes (= dim for a full basis)."""
+        return len(self.vectors)
+
+    def projectors(self) -> list[np.ndarray]:
+        """Rank-one projectors ``|phi_k><phi_k|`` per outcome."""
+        return [outer(v) for v in self.vectors]
+
+    def unitary_to_computational(self) -> np.ndarray:
+        """Unitary ``U`` with ``U|phi_k> = |k>``; measuring in this basis is
+        applying ``U`` then measuring computationally."""
+        matrix = np.column_stack(self.vectors)
+        return dagger(matrix)
+
+    def tensor(self, other: "MeasurementBasis") -> "MeasurementBasis":
+        """Product basis: outcome index is ``self``'s outcome (high bits)
+        followed by ``other``'s."""
+        vecs = [
+            kron_all([a, b]) for a in self.vectors for b in other.vectors
+        ]
+        label = f"{self.label}(x){other.label}" if self.label or other.label else ""
+        return MeasurementBasis(tuple(vecs), label=label)
+
+    def __repr__(self) -> str:
+        name = self.label or "unnamed"
+        return f"MeasurementBasis({name!r}, num_qubits={self.num_qubits})"
+
+
+def computational_basis(num_qubits: int = 1) -> MeasurementBasis:
+    """The standard ``{|0>, |1>}^(x)n`` basis."""
+    dim = 1 << num_qubits
+    vecs = tuple(np.eye(dim, dtype=np.complex128)[:, k] for k in range(dim))
+    return MeasurementBasis(vecs, label=f"Z^{num_qubits}")
+
+
+def hadamard_basis() -> MeasurementBasis:
+    """The ``{|+>, |->}`` basis."""
+    return rotation_basis(math.pi / 4, label="X")
+
+
+def rotation_basis(theta: float, label: str | None = None) -> MeasurementBasis:
+    """The paper's single-qubit basis family.
+
+    Outcome 0 projects onto ``cos(theta)|0> + sin(theta)|1>``; outcome 1
+    onto the orthogonal ``-sin(theta)|0> + cos(theta)|1>``.
+    """
+    c, s = math.cos(theta), math.sin(theta)
+    v0 = np.array([c, s], dtype=np.complex128)
+    v1 = np.array([-s, c], dtype=np.complex128)
+    return MeasurementBasis(
+        (v0, v1), label=label if label is not None else f"theta={theta:.4f}"
+    )
+
+
+def bloch_basis(theta: float, phi: float) -> MeasurementBasis:
+    """Basis along an arbitrary Bloch-sphere direction ``(theta, phi)``."""
+    v0 = np.array(
+        [math.cos(theta / 2), np.exp(1j * phi) * math.sin(theta / 2)],
+        dtype=np.complex128,
+    )
+    v1 = np.array(
+        [-np.exp(-1j * phi) * math.sin(theta / 2), math.cos(theta / 2)],
+        dtype=np.complex128,
+    )
+    return MeasurementBasis((v0, v1), label=f"bloch({theta:.3f},{phi:.3f})")
+
+
+def observable_for_basis(basis: MeasurementBasis,
+                         eigenvalues: Sequence[float] | None = None) -> np.ndarray:
+    """Hermitian observable with the basis vectors as eigenvectors.
+
+    Default eigenvalues are ``+1`` for outcome 0 and ``-1`` for outcome 1
+    (the XOR-game sign convention), extended as ``(-1)^k`` for more
+    outcomes unless explicit eigenvalues are supplied.
+    """
+    if eigenvalues is None:
+        eigenvalues = [1.0 if k % 2 == 0 else -1.0 for k in range(basis.num_outcomes)]
+    if len(eigenvalues) != basis.num_outcomes:
+        raise DimensionError(
+            f"{len(eigenvalues)} eigenvalues for {basis.num_outcomes} outcomes"
+        )
+    out = np.zeros((basis.dim, basis.dim), dtype=np.complex128)
+    for value, proj in zip(eigenvalues, basis.projectors()):
+        out += value * proj
+    return out
+
+
+def chsh_alice_basis(x: int) -> MeasurementBasis:
+    """Alice's optimal CHSH basis for input ``x`` (paper §2: 0 and pi/4)."""
+    if x not in (0, 1):
+        raise MeasurementError(f"CHSH input must be 0 or 1, got {x!r}")
+    theta = 0.0 if x == 0 else math.pi / 4
+    return rotation_basis(theta, label=f"alice[{x}]")
+
+
+def chsh_bob_basis(y: int) -> MeasurementBasis:
+    """Bob's optimal CHSH basis for input ``y`` (paper §2: pi/8 and -pi/8)."""
+    if y not in (0, 1):
+        raise MeasurementError(f"CHSH input must be 0 or 1, got {y!r}")
+    theta = math.pi / 8 if y == 0 else -math.pi / 8
+    return rotation_basis(theta, label=f"bob[{y}]")
+

@@ -1,0 +1,96 @@
+"""Bloch-sphere coordinates for single-qubit states and bases.
+
+QNIC measurement bases are physically set as analyzer orientations;
+Bloch vectors are the natural coordinates for speaking about them. Pure
+states sit on the sphere's surface, mixed states inside; measurement
+outcomes follow ``P(0) = (1 + r . n) / 2`` for state vector ``r`` and
+analyzer direction ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.quantum import gates
+from repro.quantum.bases import MeasurementBasis, bloch_basis
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "state_to_bloch",
+    "bloch_to_state",
+    "basis_direction",
+    "basis_from_direction",
+    "purity_from_bloch",
+]
+
+
+def state_to_bloch(state: StateVector | DensityMatrix) -> np.ndarray:
+    """Bloch vector ``(<X>, <Y>, <Z>)`` of a single-qubit state."""
+    if isinstance(state, StateVector):
+        state = state.to_density_matrix()
+    if state.num_qubits != 1:
+        raise DimensionError("Bloch coordinates are single-qubit only")
+    return np.array(
+        [
+            state.expectation(gates.X),
+            state.expectation(gates.Y),
+            state.expectation(gates.Z),
+        ]
+    )
+
+
+def bloch_to_state(vector: np.ndarray) -> DensityMatrix:
+    """Density matrix ``(I + r . sigma) / 2`` from a Bloch vector.
+
+    ``|r| <= 1`` is required (1 = pure, 0 = maximally mixed).
+    """
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape != (3,):
+        raise DimensionError(f"Bloch vector must have 3 entries, got {vector.shape}")
+    norm = float(np.linalg.norm(vector))
+    if norm > 1.0 + 1e-9:
+        raise DimensionError(f"Bloch vector norm {norm} exceeds 1 (unphysical)")
+    rho = (
+        np.eye(2, dtype=np.complex128)
+        + vector[0] * gates.X
+        + vector[1] * gates.Y
+        + vector[2] * gates.Z
+    ) / 2.0
+    return DensityMatrix(rho, validate=False)
+
+
+def basis_direction(basis: MeasurementBasis) -> np.ndarray:
+    """Analyzer direction of a two-outcome single-qubit basis.
+
+    The Bloch vector of the outcome-0 projector's state; outcome 1 sits
+    at the antipode.
+    """
+    if basis.num_qubits != 1 or basis.num_outcomes != 2:
+        raise DimensionError("need a two-outcome single-qubit basis")
+    state = StateVector(basis.vectors[0])
+    return state_to_bloch(state)
+
+
+def basis_from_direction(direction: np.ndarray) -> MeasurementBasis:
+    """Measurement basis along a Bloch direction (normalized first)."""
+    direction = np.asarray(direction, dtype=float)
+    if direction.shape != (3,):
+        raise DimensionError("direction must have 3 entries")
+    norm = float(np.linalg.norm(direction))
+    if norm < 1e-12:
+        raise DimensionError("direction must be non-zero")
+    x, y, z = direction / norm
+    theta = math.acos(max(-1.0, min(1.0, z)))
+    phi = math.atan2(y, x)
+    return bloch_basis(theta, phi)
+
+
+def purity_from_bloch(vector: np.ndarray) -> float:
+    """Purity ``(1 + |r|^2) / 2`` of the state with Bloch vector ``r``."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape != (3,):
+        raise DimensionError("Bloch vector must have 3 entries")
+    return (1.0 + float(vector @ vector)) / 2.0

@@ -1,0 +1,196 @@
+"""Quantum noise channels in Kraus form.
+
+The paper (§3) notes "all quantum technologies operate with an error
+margin, which system designs must account for". These channels are the
+error models consumed by :mod:`repro.hardware` (source infidelity, storage
+decoherence, photon loss) and by the noise-ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.quantum import gates
+from repro.quantum.linalg import dagger, expand_operator
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "Channel",
+    "identity_channel",
+    "depolarizing",
+    "dephasing",
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+    "amplitude_damping",
+    "erasure_as_depolarizing",
+    "compose",
+]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A completely positive trace-preserving map in Kraus form.
+
+    Attributes:
+        kraus: Kraus operators; ``sum_k K_k^dag K_k = I``.
+        label: human-readable name for logs.
+    """
+
+    kraus: tuple[np.ndarray, ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.kraus:
+            raise ConfigurationError("channel needs at least one Kraus operator")
+        dim = self.kraus[0].shape[0]
+        total = np.zeros((dim, dim), dtype=np.complex128)
+        ops = []
+        for k in self.kraus:
+            arr = np.asarray(k, dtype=np.complex128)
+            if arr.shape != (dim, dim):
+                raise DimensionError(
+                    f"Kraus operator shape {arr.shape} != ({dim}, {dim})"
+                )
+            ops.append(arr)
+            total += dagger(arr) @ arr
+        if not np.allclose(total, np.eye(dim), atol=1e-8):
+            raise ConfigurationError(
+                f"channel {self.label!r} is not trace preserving"
+            )
+        object.__setattr__(self, "kraus", tuple(ops))
+
+    @property
+    def dim(self) -> int:
+        """Dimension the channel acts on."""
+        return self.kraus[0].shape[0]
+
+    def apply(
+        self,
+        state: DensityMatrix | StateVector,
+        targets: Sequence[int] | None = None,
+    ) -> DensityMatrix:
+        """Apply the channel to ``targets`` of ``state`` (all, if omitted)."""
+        if isinstance(state, StateVector):
+            state = state.to_density_matrix()
+        kraus = self.kraus
+        if targets is not None:
+            kraus = tuple(
+                expand_operator(k, targets, state.num_qubits) for k in kraus
+            )
+        elif self.dim != state.dim:
+            raise DimensionError(
+                f"channel dim {self.dim} != state dim {state.dim}; pass targets"
+            )
+        out = np.zeros((state.dim, state.dim), dtype=np.complex128)
+        mat = state.matrix
+        for k in kraus:
+            out += k @ mat @ dagger(k)
+        return DensityMatrix(out, validate=False)
+
+    def then(self, other: "Channel") -> "Channel":
+        """Sequential composition: ``other`` after ``self`` (same dim)."""
+        if other.dim != self.dim:
+            raise DimensionError("cannot compose channels of different dims")
+        kraus = tuple(b @ a for a in self.kraus for b in other.kraus)
+        label = f"{other.label}∘{self.label}" if self.label or other.label else ""
+        return Channel(kraus, label=label)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.label or 'unnamed'!r}, dim={self.dim})"
+
+
+def identity_channel(num_qubits: int = 1) -> Channel:
+    """The do-nothing channel."""
+    return Channel((np.eye(1 << num_qubits, dtype=np.complex128),), label="id")
+
+
+def depolarizing(p: float) -> Channel:
+    """Single-qubit depolarizing channel with error probability ``p``.
+
+    With probability ``p`` the qubit is replaced by the maximally mixed
+    state (implemented as uniform X/Y/Z errors at rate ``3p/4`` total).
+    """
+    _require_probability(p)
+    k0 = math.sqrt(1 - 3 * p / 4) * gates.I2
+    kx = math.sqrt(p / 4) * gates.X
+    ky = math.sqrt(p / 4) * gates.Y
+    kz = math.sqrt(p / 4) * gates.Z
+    return Channel((k0, kx, ky, kz), label=f"depol({p})")
+
+
+def dephasing(p: float) -> Channel:
+    """Phase-damping channel: coherences shrink by ``1 - p``."""
+    _require_probability(p)
+    k0 = math.sqrt(1 - p) * gates.I2
+    k1 = math.sqrt(p) * np.diag([1.0, 0.0]).astype(np.complex128)
+    k2 = math.sqrt(p) * np.diag([0.0, 1.0]).astype(np.complex128)
+    return Channel((k0, k1, k2), label=f"dephase({p})")
+
+
+def bit_flip(p: float) -> Channel:
+    """Applies X with probability ``p``."""
+    _require_probability(p)
+    return Channel(
+        (math.sqrt(1 - p) * gates.I2, math.sqrt(p) * gates.X),
+        label=f"bitflip({p})",
+    )
+
+
+def phase_flip(p: float) -> Channel:
+    """Applies Z with probability ``p``."""
+    _require_probability(p)
+    return Channel(
+        (math.sqrt(1 - p) * gates.I2, math.sqrt(p) * gates.Z),
+        label=f"phaseflip({p})",
+    )
+
+
+def bit_phase_flip(p: float) -> Channel:
+    """Applies Y with probability ``p``."""
+    _require_probability(p)
+    return Channel(
+        (math.sqrt(1 - p) * gates.I2, math.sqrt(p) * gates.Y),
+        label=f"bitphaseflip({p})",
+    )
+
+
+def amplitude_damping(gamma: float) -> Channel:
+    """Energy relaxation toward ``|0>`` with rate ``gamma``."""
+    _require_probability(gamma)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=np.complex128)
+    return Channel((k0, k1), label=f"ampdamp({gamma})")
+
+
+def erasure_as_depolarizing(loss_probability: float) -> Channel:
+    """Photon loss modeled within the qubit space.
+
+    A lost photon carries no information; when a protocol must still output
+    a bit it effectively substitutes a maximally mixed qubit. That is
+    exactly a depolarizing channel at rate ``loss_probability``, which lets
+    loss compose with the rest of the Kraus machinery without leaving the
+    2-dimensional space. (Detected-loss protocols should instead resample a
+    fresh pair; :mod:`repro.hardware.distribution` models that path.)
+    """
+    return depolarizing(loss_probability)
+
+
+def compose(channels: Sequence[Channel]) -> Channel:
+    """Compose channels left-to-right (first applied first)."""
+    if not channels:
+        raise ConfigurationError("compose requires at least one channel")
+    out = channels[0]
+    for ch in channels[1:]:
+        out = out.then(ch)
+    return out
+
+
+def _require_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"probability {p} outside [0, 1]")

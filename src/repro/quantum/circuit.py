@@ -1,0 +1,210 @@
+"""A small quantum circuit layer over the state simulator.
+
+The entangled states the architecture distributes (Fig 1) are produced
+by concrete physical processes; this module gives them a circuit-level
+description — the form a lab writeup or a Qiskit port would use — and
+compiles it against :class:`~repro.quantum.state.StateVector`.
+
+Example::
+
+    circuit = Circuit(2).h(0).cnot(0, 1)      # Bell pair
+    state = circuit.run()
+    assert state == bell_pair()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError, QuantumError
+from repro.quantum import gates
+from repro.quantum.linalg import num_qubits_of_dim, require_unitary
+from repro.quantum.state import StateVector
+
+__all__ = ["Operation", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application: a unitary on an ordered tuple of targets."""
+
+    name: str
+    matrix: np.ndarray
+    targets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require_unitary(self.matrix)
+        arity = num_qubits_of_dim(self.matrix.shape[0])
+        if len(self.targets) != arity:
+            raise DimensionError(
+                f"{self.name}: {arity}-qubit gate applied to "
+                f"{len(self.targets)} targets"
+            )
+        if len(set(self.targets)) != len(self.targets):
+            raise DimensionError(f"{self.name}: duplicate targets")
+
+
+class Circuit:
+    """An ordered list of gate applications on ``num_qubits`` qubits.
+
+    Builder methods return ``self`` so circuits chain fluently. ``run``
+    applies the operations left-to-right to ``|0...0>`` (or a supplied
+    initial state).
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise DimensionError(f"need at least one qubit, got {num_qubits}")
+        self._num_qubits = num_qubits
+        self._ops: list[Operation] = []
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the circuit acts on."""
+        return self._num_qubits
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """The gate list, in application order."""
+        return tuple(self._ops)
+
+    def depth(self) -> int:
+        """Number of sequential layers (gates sharing no qubits pack)."""
+        busy_until: dict[int, int] = {}
+        depth = 0
+        for op in self._ops:
+            layer = 1 + max(
+                (busy_until.get(t, 0) for t in op.targets), default=0
+            )
+            for t in op.targets:
+                busy_until[t] = layer
+            depth = max(depth, layer)
+        return depth
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # -- builders -------------------------------------------------------------
+
+    def gate(
+        self, name: str, matrix: np.ndarray, targets: Sequence[int]
+    ) -> "Circuit":
+        """Append an arbitrary unitary."""
+        targets = tuple(int(t) for t in targets)
+        for t in targets:
+            if not 0 <= t < self._num_qubits:
+                raise DimensionError(
+                    f"target {t} outside 0..{self._num_qubits - 1}"
+                )
+        self._ops.append(Operation(name=name, matrix=matrix, targets=targets))
+        return self
+
+    def h(self, qubit: int) -> "Circuit":
+        """Hadamard."""
+        return self.gate("h", gates.H, [qubit])
+
+    def x(self, qubit: int) -> "Circuit":
+        """Pauli-X."""
+        return self.gate("x", gates.X, [qubit])
+
+    def y(self, qubit: int) -> "Circuit":
+        """Pauli-Y."""
+        return self.gate("y", gates.Y, [qubit])
+
+    def z(self, qubit: int) -> "Circuit":
+        """Pauli-Z."""
+        return self.gate("z", gates.Z, [qubit])
+
+    def s(self, qubit: int) -> "Circuit":
+        """Phase gate."""
+        return self.gate("s", gates.S, [qubit])
+
+    def t(self, qubit: int) -> "Circuit":
+        """T gate."""
+        return self.gate("t", gates.T, [qubit])
+
+    def rx(self, qubit: int, theta: float) -> "Circuit":
+        """X rotation."""
+        return self.gate(f"rx({theta:.4f})", gates.rx(theta), [qubit])
+
+    def ry(self, qubit: int, theta: float) -> "Circuit":
+        """Y rotation."""
+        return self.gate(f"ry({theta:.4f})", gates.ry(theta), [qubit])
+
+    def rz(self, qubit: int, theta: float) -> "Circuit":
+        """Z rotation."""
+        return self.gate(f"rz({theta:.4f})", gates.rz(theta), [qubit])
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Controlled-NOT."""
+        return self.gate("cnot", gates.cnot(), [control, target])
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        """Controlled-Z."""
+        return self.gate("cz", gates.cz(), [control, target])
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        """SWAP."""
+        return self.gate("swap", gates.swap(), [a, b])
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, initial: StateVector | None = None) -> StateVector:
+        """Apply the circuit to ``initial`` (default ``|0...0>``)."""
+        if initial is None:
+            state = StateVector.zeros(self._num_qubits)
+        else:
+            if initial.num_qubits != self._num_qubits:
+                raise QuantumError(
+                    f"initial state has {initial.num_qubits} qubits, "
+                    f"circuit needs {self._num_qubits}"
+                )
+            state = initial
+        for op in self._ops:
+            state = state.apply(op.matrix, targets=list(op.targets))
+        return state
+
+    def unitary(self) -> np.ndarray:
+        """The full circuit unitary (dense; small circuits only)."""
+        from repro.quantum.linalg import expand_operator
+
+        dim = 1 << self._num_qubits
+        out = np.eye(dim, dtype=np.complex128)
+        for op in self._ops:
+            out = expand_operator(
+                op.matrix, list(op.targets), self._num_qubits
+            ) @ out
+        return out
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit (reversed order, conjugated gates)."""
+        inv = Circuit(self._num_qubits)
+        for op in reversed(self._ops):
+            inv.gate(f"{op.name}^-1", op.matrix.conj().T, op.targets)
+        return inv
+
+    # -- canned constructions -----------------------------------------------------
+
+    @classmethod
+    def bell(cls) -> "Circuit":
+        """Bell-pair preparation: H then CNOT."""
+        return cls(2).h(0).cnot(0, 1)
+
+    @classmethod
+    def ghz(cls, num_qubits: int) -> "Circuit":
+        """GHZ preparation: H on qubit 0 then a CNOT chain."""
+        circuit = cls(num_qubits).h(0)
+        for q in range(1, num_qubits):
+            circuit.cnot(0, q)
+        return circuit
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(num_qubits={self._num_qubits}, gates={len(self._ops)}, "
+            f"depth={self.depth()})"
+        )

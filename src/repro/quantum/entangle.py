@@ -1,0 +1,102 @@
+"""Entangled state constructors: Bell pairs, GHZ, W, and Werner states.
+
+These are the only state families the paper's protocols use (§2: "the only
+kind of quantum states this paper considers are generalizations of the
+Bell pair"). Werner states model imperfect Bell pairs from noisy hardware.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "bell_pair",
+    "bell_state",
+    "ghz_state",
+    "w_state",
+    "werner_state",
+    "isotropic_state",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def bell_pair() -> StateVector:
+    """The paper's Bell pair ``(|00> + |11>) / sqrt(2)`` (Phi+)."""
+    return bell_state("phi+")
+
+
+def bell_state(name: str) -> StateVector:
+    """One of the four Bell states: ``phi+``, ``phi-``, ``psi+``, ``psi-``."""
+    vec = np.zeros(4, dtype=np.complex128)
+    key = name.lower()
+    if key == "phi+":
+        vec[0b00] = vec[0b11] = 1 / _SQRT2
+    elif key == "phi-":
+        vec[0b00], vec[0b11] = 1 / _SQRT2, -1 / _SQRT2
+    elif key == "psi+":
+        vec[0b01] = vec[0b10] = 1 / _SQRT2
+    elif key == "psi-":
+        vec[0b01], vec[0b10] = 1 / _SQRT2, -1 / _SQRT2
+    else:
+        raise ConfigurationError(f"unknown Bell state {name!r}")
+    return StateVector(vec)
+
+
+def ghz_state(num_qubits: int) -> StateVector:
+    """``(|0...0> + |1...1>) / sqrt(2)`` on ``num_qubits >= 2`` qubits."""
+    if num_qubits < 2:
+        raise DimensionError("GHZ state needs at least 2 qubits")
+    dim = 1 << num_qubits
+    vec = np.zeros(dim, dtype=np.complex128)
+    vec[0] = vec[dim - 1] = 1 / _SQRT2
+    return StateVector(vec)
+
+
+def w_state(num_qubits: int) -> StateVector:
+    """Equal superposition of all one-hot basis states."""
+    if num_qubits < 2:
+        raise DimensionError("W state needs at least 2 qubits")
+    dim = 1 << num_qubits
+    vec = np.zeros(dim, dtype=np.complex128)
+    amp = 1 / math.sqrt(num_qubits)
+    for q in range(num_qubits):
+        vec[1 << q] = amp
+    return StateVector(vec)
+
+
+def werner_state(fidelity: float) -> DensityMatrix:
+    """A noisy Bell pair: ``F |phi+><phi+| + (1-F)/3 (other Bell projectors)``.
+
+    ``fidelity`` is the singlet-fraction-style overlap with ``phi+``; 1 is a
+    perfect Bell pair, 1/4 is maximally mixed. This is the standard model of
+    a Bell pair distributed over a depolarizing channel, which is how the
+    hardware models in :mod:`repro.hardware` degrade pairs.
+    """
+    if not 0.0 <= fidelity <= 1.0:
+        raise ConfigurationError(f"fidelity {fidelity} outside [0, 1]")
+    phi = bell_state("phi+").to_density_matrix().matrix
+    others = (
+        bell_state("phi-").to_density_matrix().matrix
+        + bell_state("psi+").to_density_matrix().matrix
+        + bell_state("psi-").to_density_matrix().matrix
+    )
+    return DensityMatrix(fidelity * phi + (1.0 - fidelity) / 3.0 * others)
+
+
+def isotropic_state(visibility: float) -> DensityMatrix:
+    """``v |phi+><phi+| + (1-v) I/4`` — the isotropic noise model.
+
+    ``visibility`` in [0, 1]; the CHSH quantum advantage survives iff
+    ``v > 1/sqrt(2)``, a fact the noise ablation bench reproduces.
+    """
+    if not 0.0 <= visibility <= 1.0:
+        raise ConfigurationError(f"visibility {visibility} outside [0, 1]")
+    phi = bell_state("phi+").to_density_matrix().matrix
+    mixed = np.eye(4, dtype=np.complex128) / 4.0
+    return DensityMatrix(visibility * phi + (1.0 - visibility) * mixed)

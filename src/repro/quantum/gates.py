@@ -1,0 +1,139 @@
+"""Standard quantum gates as ``complex128`` matrices.
+
+All single-qubit gates are 2x2; multi-qubit gates follow the qubit-0-most-
+significant convention of :mod:`repro.quantum.linalg`. Functions returning
+parameterized gates build a fresh array each call, so callers may mutate
+results freely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.quantum.linalg import require_unitary
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "T",
+    "rx",
+    "ry",
+    "rz",
+    "phase",
+    "u2",
+    "cnot",
+    "cz",
+    "swap",
+    "controlled",
+    "pauli",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+#: Identity on one qubit.
+I2 = np.eye(2, dtype=np.complex128)
+
+#: Pauli-X (bit flip).
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+#: Pauli-Y.
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+#: Pauli-Z (phase flip).
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+#: Hadamard.
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / _SQRT2
+
+#: Phase gate S = diag(1, i).
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+
+#: T gate = diag(1, e^{i pi/4}).
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=np.complex128)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about the X axis by ``theta``: ``exp(-i theta X / 2)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by ``theta``: ``exp(-i theta Y / 2)``.
+
+    ``ry(2 * theta) @ |0>`` is the paper's measurement-direction state
+    ``cos(theta)|0> + sin(theta)|1>``.
+    """
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by ``theta``: ``exp(-i theta Z / 2)``."""
+    e = np.exp(-1j * theta / 2)
+    return np.array([[e, 0], [0, e.conj()]], dtype=np.complex128)
+
+
+def phase(phi: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i phi})``."""
+    return np.array([[1, 0], [0, np.exp(1j * phi)]], dtype=np.complex128)
+
+
+def u2(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary with Euler angles (up to global phase)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def cnot() -> np.ndarray:
+    """CNOT with qubit 0 (most significant) as control."""
+    gate = np.eye(4, dtype=np.complex128)
+    gate[[2, 3]] = gate[[3, 2]]
+    return gate
+
+
+def cz() -> np.ndarray:
+    """Controlled-Z on two qubits (symmetric in control/target)."""
+    return np.diag([1, 1, 1, -1]).astype(np.complex128)
+
+
+def swap() -> np.ndarray:
+    """SWAP on two qubits."""
+    gate = np.eye(4, dtype=np.complex128)
+    gate[[1, 2]] = gate[[2, 1]]
+    return gate
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Return the controlled version of ``unitary``; control is qubit 0."""
+    require_unitary(unitary)
+    d = unitary.shape[0]
+    gate = np.eye(2 * d, dtype=np.complex128)
+    gate[d:, d:] = unitary
+    return gate
+
+
+def pauli(label: str) -> np.ndarray:
+    """Return a (multi-qubit) Pauli operator from a label like ``"XZI"``."""
+    if not label:
+        raise DimensionError("empty Pauli label")
+    table = {"I": I2, "X": X, "Y": Y, "Z": Z}
+    out = np.array([[1.0]], dtype=np.complex128)
+    for char in label:
+        if char not in table:
+            raise DimensionError(f"unknown Pauli letter {char!r} in {label!r}")
+        out = np.kron(out, table[char])
+    return out

@@ -1,0 +1,296 @@
+"""Low-level linear algebra helpers for the quantum substrate.
+
+Conventions used throughout :mod:`repro.quantum`:
+
+- States live in ``C^(2^n)`` with the computational basis ordered so that
+  qubit 0 is the *most significant* bit of the basis index (matching the
+  paper's ket notation, where ``|01>`` means qubit 0 is ``|0>`` and qubit 1
+  is ``|1>``).
+- All arrays are ``numpy.ndarray`` with dtype ``complex128``.
+- Validation helpers raise subclasses of
+  :class:`repro.errors.QuantumError` rather than returning booleans, so
+  call sites stay flat.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    DimensionError,
+    NotHermitianError,
+    NotNormalizedError,
+    NotUnitaryError,
+)
+
+#: Default numerical tolerance for validation checks.
+ATOL = 1e-10
+
+__all__ = [
+    "ATOL",
+    "as_complex_array",
+    "ket",
+    "bra",
+    "basis_ket",
+    "ket_from_amplitudes",
+    "kron_all",
+    "outer",
+    "dagger",
+    "inner",
+    "num_qubits_of_dim",
+    "dim_of_num_qubits",
+    "is_power_of_two",
+    "require_vector",
+    "require_square",
+    "require_normalized",
+    "require_unitary",
+    "require_hermitian",
+    "is_unitary",
+    "is_hermitian",
+    "projector",
+    "expand_operator",
+    "permute_qubits_vector",
+    "bit_of_index",
+    "fidelity_vectors",
+]
+
+
+def as_complex_array(values: Iterable[complex] | np.ndarray) -> np.ndarray:
+    """Return ``values`` as a fresh ``complex128`` ndarray."""
+    return np.asarray(values, dtype=np.complex128).copy()
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def num_qubits_of_dim(dim: int) -> int:
+    """Return ``n`` such that ``2**n == dim``.
+
+    Raises:
+        DimensionError: if ``dim`` is not a power of two.
+    """
+    if not is_power_of_two(dim):
+        raise DimensionError(f"dimension {dim} is not a power of two")
+    return dim.bit_length() - 1
+
+
+def dim_of_num_qubits(num_qubits: int) -> int:
+    """Return the Hilbert-space dimension ``2**num_qubits``."""
+    if num_qubits < 0:
+        raise DimensionError(f"negative qubit count {num_qubits}")
+    return 1 << num_qubits
+
+
+def ket(amplitudes: Iterable[complex]) -> np.ndarray:
+    """Build a column state vector from amplitudes (as a flat 1-D array)."""
+    vec = as_complex_array(amplitudes).reshape(-1)
+    require_vector(vec)
+    return vec
+
+
+def bra(amplitudes: Iterable[complex]) -> np.ndarray:
+    """Return the conjugate transpose (as a flat array) of :func:`ket`."""
+    return ket(amplitudes).conj()
+
+
+def basis_ket(index: int, dim: int) -> np.ndarray:
+    """Return the computational basis vector ``|index>`` in dimension ``dim``."""
+    if not 0 <= index < dim:
+        raise DimensionError(f"basis index {index} out of range for dim {dim}")
+    vec = np.zeros(dim, dtype=np.complex128)
+    vec[index] = 1.0
+    return vec
+
+
+def ket_from_amplitudes(amplitudes: Iterable[complex]) -> np.ndarray:
+    """Build and normalize a state vector from (unnormalized) amplitudes."""
+    vec = as_complex_array(amplitudes).reshape(-1)
+    norm = np.linalg.norm(vec)
+    if norm < ATOL:
+        raise NotNormalizedError(float(norm), ATOL)
+    return vec / norm
+
+
+def kron_all(factors: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of all factors, left to right.
+
+    ``kron_all([a])`` returns a copy of ``a``; an empty sequence is an error.
+    """
+    if len(factors) == 0:
+        raise DimensionError("kron_all requires at least one factor")
+    out = as_complex_array(factors[0])
+    for factor in factors[1:]:
+        out = np.kron(out, as_complex_array(factor))
+    return out
+
+
+def outer(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Return ``|a><b|`` (``|a><a|`` when ``b`` is omitted)."""
+    if b is None:
+        b = a
+    return np.outer(a, b.conj())
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose."""
+    return matrix.conj().T
+
+
+def inner(a: np.ndarray, b: np.ndarray) -> complex:
+    """Return ``<a|b>``."""
+    if a.shape != b.shape:
+        raise DimensionError(f"inner product shape mismatch {a.shape} vs {b.shape}")
+    return complex(np.vdot(a, b))
+
+
+def require_vector(vec: np.ndarray) -> None:
+    """Validate that ``vec`` is a 1-D array with power-of-two length."""
+    if vec.ndim != 1:
+        raise DimensionError(f"expected a 1-D state vector, got shape {vec.shape}")
+    num_qubits_of_dim(vec.shape[0])
+
+
+def require_square(matrix: np.ndarray) -> None:
+    """Validate that ``matrix`` is square with power-of-two size."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise DimensionError(f"expected a square matrix, got shape {matrix.shape}")
+    num_qubits_of_dim(matrix.shape[0])
+
+
+def require_normalized(vec: np.ndarray, tolerance: float = 1e-8) -> None:
+    """Validate that ``vec`` has unit norm.
+
+    Raises:
+        NotNormalizedError: when the norm deviates by more than ``tolerance``.
+    """
+    norm = float(np.linalg.norm(vec))
+    if abs(norm - 1.0) > tolerance:
+        raise NotNormalizedError(norm, tolerance)
+
+
+def is_unitary(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """Return True iff ``matrix`` is unitary within ``tolerance``."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(dagger(matrix) @ matrix, eye, atol=tolerance))
+
+
+def require_unitary(matrix: np.ndarray, tolerance: float = 1e-8) -> None:
+    """Raise :class:`NotUnitaryError` unless ``matrix`` is unitary."""
+    require_square(matrix)
+    if not is_unitary(matrix, tolerance):
+        raise NotUnitaryError(
+            f"matrix of shape {matrix.shape} is not unitary within {tolerance}"
+        )
+
+
+def is_hermitian(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """Return True iff ``matrix`` equals its conjugate transpose."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, dagger(matrix), atol=tolerance))
+
+
+def require_hermitian(matrix: np.ndarray, tolerance: float = 1e-8) -> None:
+    """Raise :class:`NotHermitianError` unless ``matrix`` is Hermitian."""
+    require_square(matrix)
+    if not is_hermitian(matrix, tolerance):
+        raise NotHermitianError(
+            f"matrix of shape {matrix.shape} is not Hermitian within {tolerance}"
+        )
+
+
+def projector(vec: np.ndarray) -> np.ndarray:
+    """Return the rank-one projector onto ``vec`` (normalizing first)."""
+    norm = np.linalg.norm(vec)
+    if norm < ATOL:
+        raise NotNormalizedError(float(norm), ATOL)
+    unit = vec / norm
+    return outer(unit)
+
+
+def expand_operator(
+    op: np.ndarray, targets: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Embed ``op`` acting on ``targets`` into an ``num_qubits`` system.
+
+    ``targets`` lists the qubit indices (qubit 0 = most significant) that the
+    operator's tensor factors act on, in order. The returned matrix acts on
+    the full ``2**num_qubits`` space and as identity elsewhere.
+    """
+    require_square(op)
+    k = num_qubits_of_dim(op.shape[0])
+    if len(targets) != k:
+        raise DimensionError(
+            f"operator acts on {k} qubits but {len(targets)} targets given"
+        )
+    if len(set(targets)) != len(targets):
+        raise DimensionError(f"duplicate targets in {targets!r}")
+    for t in targets:
+        if not 0 <= t < num_qubits:
+            raise DimensionError(f"target {t} out of range for {num_qubits} qubits")
+
+    # Reorder so the targets are the leading qubits, apply kron(op, I),
+    # then permute the qubit axes back to their natural order.
+    rest = [q for q in range(num_qubits) if q not in targets]
+    perm = list(targets) + rest
+    big = np.kron(op, np.eye(dim_of_num_qubits(num_qubits - k)))
+    return _permute_qubits_matrix(big, _inverse_permutation(perm))
+
+
+def _inverse_permutation(perm: Sequence[int]) -> list[int]:
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return inv
+
+
+def _permute_qubits_matrix(matrix: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+    """Return the matrix expressed with qubit axes reordered by ``perm``.
+
+    ``perm[i]`` gives the position in ``matrix``'s qubit ordering of the
+    qubit that should end up at position ``i``.
+    """
+    n = num_qubits_of_dim(matrix.shape[0])
+    if sorted(perm) != list(range(n)):
+        raise DimensionError(f"{perm!r} is not a permutation of 0..{n - 1}")
+    tensor = matrix.reshape([2] * (2 * n))
+    axes = list(perm) + [n + p for p in perm]
+    return tensor.transpose(axes).reshape(matrix.shape)
+
+
+def permute_qubits_vector(vec: np.ndarray, perm: Sequence[int]) -> np.ndarray:
+    """Reorder the qubits of a state vector.
+
+    After the call, qubit ``i`` of the result is qubit ``perm[i]`` of the
+    input.
+    """
+    require_vector(vec)
+    n = num_qubits_of_dim(vec.shape[0])
+    if sorted(perm) != list(range(n)):
+        raise DimensionError(f"{perm!r} is not a permutation of 0..{n - 1}")
+    return vec.reshape([2] * n).transpose(perm).reshape(-1)
+
+
+def bit_of_index(index: int, qubit: int, num_qubits: int) -> int:
+    """Return the value of ``qubit`` in computational basis state ``index``.
+
+    Qubit 0 is the most significant bit.
+    """
+    return (index >> (num_qubits - 1 - qubit)) & 1
+
+
+def fidelity_vectors(a: np.ndarray, b: np.ndarray) -> float:
+    """Return ``|<a|b>|^2`` for two pure states."""
+    return float(abs(inner(a, b)) ** 2)
+
+
+def close(a: float, b: float, tolerance: float = ATOL) -> bool:
+    """Scalar closeness check used by tests and validators."""
+    return math.isclose(a, b, abs_tol=tolerance)

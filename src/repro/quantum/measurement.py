@@ -1,0 +1,376 @@
+"""Projective and POVM measurements with seeded randomness.
+
+Measurement is the only stochastic operation in the quantum substrate, so
+every function takes an explicit ``numpy.random.Generator``. This keeps
+simulations reproducible: the caller owns the RNG stream.
+
+Two layers are provided:
+
+- Functional: :func:`measure_state_vector`, :func:`measure_density_matrix`,
+  :func:`measure_qubit` — sample an outcome, return outcome + post state.
+- Stateful: :class:`Qubit` / :class:`EntangledRegister` — model the paper's
+  QNIC semantics where each server holds *one share* of an entangled state
+  and measurement is destructive (§2: "once a qubit is measured, it is
+  permanently the classical outcome that was observed").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError, MeasurementError, QubitConsumedError
+from repro.quantum.bases import MeasurementBasis, computational_basis
+from repro.quantum.linalg import dagger, expand_operator
+from repro.quantum.state import DensityMatrix, StateVector
+
+__all__ = [
+    "MeasurementOutcome",
+    "measure_state_vector",
+    "measure_density_matrix",
+    "measure_qubit",
+    "measure_with_projectors",
+    "outcome_probabilities",
+    "povm_measure",
+    "EntangledRegister",
+    "Qubit",
+]
+
+
+@dataclass(frozen=True)
+class MeasurementOutcome:
+    """Result of a projective measurement.
+
+    Attributes:
+        outcome: index of the observed basis vector.
+        probability: Born probability of that outcome.
+        post_state: the collapsed state of the *remaining* system (None when
+            the measured system was the whole state, i.e. nothing remains
+            in the destructive-qubit model).
+    """
+
+    outcome: int
+    probability: float
+    post_state: StateVector | DensityMatrix | None
+
+
+def outcome_probabilities(
+    state: StateVector | DensityMatrix,
+    basis: MeasurementBasis,
+    targets: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Born-rule outcome distribution for measuring ``targets`` in ``basis``."""
+    projectors = _expanded_projectors(state.num_qubits, basis, targets)
+    if isinstance(state, StateVector):
+        vec = state.vector
+        probs = np.array([float(np.real(np.vdot(vec, p @ vec))) for p in projectors])
+    else:
+        mat = state.matrix
+        probs = np.array(
+            [float(np.real(np.trace(p @ mat))) for p in projectors]
+        )
+    probs = probs.clip(min=0.0)
+    total = probs.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise MeasurementError(f"outcome probabilities sum to {total}, not 1")
+    return probs / total
+
+
+def measure_state_vector(
+    state: StateVector,
+    basis: MeasurementBasis,
+    rng: np.random.Generator,
+    targets: Sequence[int] | None = None,
+) -> MeasurementOutcome:
+    """Measure ``targets`` of a pure state in ``basis``; collapse the rest.
+
+    When ``targets`` covers every qubit the post state is None (the whole
+    system became classical).
+    """
+    n = state.num_qubits
+    targets = _normalize_targets(n, basis, targets)
+    projectors = _expanded_projectors(n, basis, targets)
+    vec = state.vector
+    probs = np.array([float(np.real(np.vdot(vec, p @ vec))) for p in projectors])
+    probs = probs.clip(min=0.0)
+    probs = probs / probs.sum()
+    outcome = int(rng.choice(len(probs), p=probs))
+    if len(targets) == n:
+        return MeasurementOutcome(outcome, float(probs[outcome]), None)
+    collapsed = projectors[outcome] @ vec
+    collapsed = collapsed / np.linalg.norm(collapsed)
+    remaining = [q for q in range(n) if q not in targets]
+    reduced = (
+        StateVector(collapsed)
+        .to_density_matrix()
+        .partial_trace(remaining)
+    )
+    # The conditional state of the remaining qubits is pure, because the
+    # measurement was a rank-one projection on the targets; recover the
+    # vector from the top eigenvector for efficiency downstream.
+    post = _pure_from_density(reduced)
+    return MeasurementOutcome(outcome, float(probs[outcome]), post)
+
+
+def measure_density_matrix(
+    state: DensityMatrix,
+    basis: MeasurementBasis,
+    rng: np.random.Generator,
+    targets: Sequence[int] | None = None,
+) -> MeasurementOutcome:
+    """Measure ``targets`` of a mixed state in ``basis``."""
+    n = state.num_qubits
+    targets = _normalize_targets(n, basis, targets)
+    projectors = _expanded_projectors(n, basis, targets)
+    mat = state.matrix
+    probs = np.array(
+        [float(np.real(np.trace(p @ mat))) for p in projectors]
+    ).clip(min=0.0)
+    probs = probs / probs.sum()
+    outcome = int(rng.choice(len(probs), p=probs))
+    if len(targets) == n:
+        return MeasurementOutcome(outcome, float(probs[outcome]), None)
+    proj = projectors[outcome]
+    post_full = proj @ mat @ proj
+    post_full = post_full / np.real(np.trace(post_full))
+    remaining = [q for q in range(n) if q not in targets]
+    post = DensityMatrix(post_full, validate=False).partial_trace(remaining)
+    return MeasurementOutcome(outcome, float(probs[outcome]), post)
+
+
+def measure_qubit(
+    state: StateVector | DensityMatrix,
+    qubit: int,
+    basis: MeasurementBasis,
+    rng: np.random.Generator,
+) -> MeasurementOutcome:
+    """Convenience wrapper measuring a single qubit."""
+    if basis.num_qubits != 1:
+        raise MeasurementError("measure_qubit requires a single-qubit basis")
+    if isinstance(state, StateVector):
+        return measure_state_vector(state, basis, rng, targets=[qubit])
+    return measure_density_matrix(state, basis, rng, targets=[qubit])
+
+
+def povm_measure(
+    state: DensityMatrix,
+    effects: Sequence[np.ndarray],
+    rng: np.random.Generator,
+) -> tuple[int, DensityMatrix]:
+    """Sample a POVM outcome and return the (Lüders) post state.
+
+    ``effects`` must be PSD and sum to identity.
+    """
+    dim = state.dim
+    total = np.zeros((dim, dim), dtype=np.complex128)
+    for e in effects:
+        if e.shape != (dim, dim):
+            raise DimensionError(f"effect shape {e.shape} != state dim {dim}")
+        total += e
+    if not np.allclose(total, np.eye(dim), atol=1e-8):
+        raise MeasurementError("POVM effects do not sum to identity")
+    mat = state.matrix
+    probs = np.array(
+        [float(np.real(np.trace(e @ mat))) for e in effects]
+    ).clip(min=0.0)
+    probs = probs / probs.sum()
+    outcome = int(rng.choice(len(probs), p=probs))
+    effect = effects[outcome]
+    # Lüders update with the PSD square root of the effect.
+    eigs, vecs = np.linalg.eigh(effect)
+    root = (vecs * np.sqrt(eigs.clip(min=0.0))) @ dagger(vecs)
+    post = root @ mat @ root
+    post = post / np.real(np.trace(post))
+    return outcome, DensityMatrix(post, validate=False)
+
+
+def measure_with_projectors(
+    state: StateVector | DensityMatrix,
+    projectors: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    targets: Sequence[int] | None = None,
+) -> tuple[int, DensityMatrix]:
+    """Projective measurement given explicit (possibly degenerate) projectors.
+
+    Unlike :class:`MeasurementBasis`, the projectors may have rank greater
+    than one — e.g. the +1/-1 eigenspace projectors of a multi-qubit binary
+    observable from the Tsirelson construction. Returns the outcome index
+    and the collapsed state of the *full* system (targets not traced out,
+    because degenerate outcomes leave them entangled).
+    """
+    if isinstance(state, StateVector):
+        state = state.to_density_matrix()
+    dim = state.dim
+    if targets is not None:
+        projectors = [
+            expand_operator(np.asarray(p, dtype=np.complex128), targets,
+                            state.num_qubits)
+            for p in projectors
+        ]
+    total = np.zeros((dim, dim), dtype=np.complex128)
+    for p in projectors:
+        if p.shape != (dim, dim):
+            raise DimensionError(
+                f"projector shape {p.shape} != state dim {dim}; pass targets"
+            )
+        if not np.allclose(p @ p, p, atol=1e-8) or not np.allclose(
+            p, dagger(p), atol=1e-8
+        ):
+            raise MeasurementError("operators are not orthogonal projectors")
+        total += p
+    if not np.allclose(total, np.eye(dim), atol=1e-8):
+        raise MeasurementError("projectors do not sum to identity")
+    mat = state.matrix
+    probs = np.array(
+        [float(np.real(np.trace(p @ mat))) for p in projectors]
+    ).clip(min=0.0)
+    probs = probs / probs.sum()
+    outcome = int(rng.choice(len(probs), p=probs))
+    proj = projectors[outcome]
+    post = proj @ mat @ proj
+    post = post / np.real(np.trace(post))
+    return outcome, DensityMatrix(post, validate=False)
+
+
+class EntangledRegister:
+    """A shared multi-qubit state whose shares are measured one at a time.
+
+    This models the paper's architecture: a central source prepares an
+    entangled state and distributes one qubit to each party. Each party
+    later measures its own share in a basis of its choosing, without
+    communicating. The register tracks collapse so that the *order* of
+    measurements never changes the joint statistics (tested property).
+    """
+
+    def __init__(self, state: StateVector | DensityMatrix) -> None:
+        if isinstance(state, StateVector):
+            state = state.to_density_matrix()
+        self._state: DensityMatrix = state
+        self._live: list[int] = list(range(state.num_qubits))
+        self._outcomes: dict[int, int] = {}
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of shares the register was created with."""
+        return len(self._live) + len(self._outcomes)
+
+    @property
+    def unmeasured(self) -> tuple[int, ...]:
+        """Original indices of shares not yet measured."""
+        return tuple(self._live)
+
+    @property
+    def outcomes(self) -> dict[int, int]:
+        """Mapping of original qubit index to observed outcome, so far."""
+        return dict(self._outcomes)
+
+    def qubit(self, index: int) -> "Qubit":
+        """Return a handle for the share with original index ``index``."""
+        if index in self._outcomes:
+            raise QubitConsumedError(f"qubit {index} was already measured")
+        if index not in self._live:
+            raise MeasurementError(f"register has no qubit {index}")
+        return Qubit(self, index)
+
+    def measure(
+        self, index: int, basis: MeasurementBasis, rng: np.random.Generator
+    ) -> int:
+        """Destructively measure share ``index`` in ``basis``."""
+        if basis.num_qubits != 1:
+            raise MeasurementError("register shares are single qubits")
+        if index in self._outcomes:
+            raise QubitConsumedError(f"qubit {index} was already measured")
+        if index not in self._live:
+            raise MeasurementError(f"register has no qubit {index}")
+        position = self._live.index(index)
+        result = measure_density_matrix(self._state, basis, rng, targets=[position])
+        self._outcomes[index] = result.outcome
+        self._live.remove(index)
+        if result.post_state is not None:
+            self._state = result.post_state
+        return result.outcome
+
+    def reduced_state(self, indices: Sequence[int]) -> DensityMatrix:
+        """Reduced state of the given (unmeasured) shares.
+
+        Used by tests to check no-signaling: the reduced state of A's and
+        B's shares must not depend on which basis C measured in.
+        """
+        positions = []
+        for index in indices:
+            if index not in self._live:
+                raise MeasurementError(f"qubit {index} unavailable")
+            positions.append(self._live.index(index))
+        return self._state.partial_trace(sorted(positions))
+
+
+class Qubit:
+    """One share of an :class:`EntangledRegister`, measurable exactly once."""
+
+    def __init__(self, register: EntangledRegister, index: int) -> None:
+        self._register = register
+        self._index = index
+        self._consumed = False
+
+    @property
+    def index(self) -> int:
+        """The share's original index within its register."""
+        return self._index
+
+    @property
+    def consumed(self) -> bool:
+        """True once this share has been measured."""
+        return self._consumed
+
+    def measure(self, basis: MeasurementBasis, rng: np.random.Generator) -> int:
+        """Measure this share; destructive (raises on reuse)."""
+        if self._consumed:
+            raise QubitConsumedError(f"qubit {self._index} was already measured")
+        outcome = self._register.measure(self._index, basis, rng)
+        self._consumed = True
+        return outcome
+
+    def measure_computational(self, rng: np.random.Generator) -> int:
+        """Measure in the standard ``{|0>, |1>}`` basis."""
+        return self.measure(computational_basis(1), rng)
+
+
+def _normalize_targets(
+    num_qubits: int, basis: MeasurementBasis, targets: Sequence[int] | None
+) -> list[int]:
+    if targets is None:
+        targets = list(range(basis.num_qubits))
+    targets = list(targets)
+    if len(targets) != basis.num_qubits:
+        raise MeasurementError(
+            f"basis covers {basis.num_qubits} qubits, got {len(targets)} targets"
+        )
+    for t in targets:
+        if not 0 <= t < num_qubits:
+            raise MeasurementError(
+                f"target {t} out of range for {num_qubits}-qubit state"
+            )
+    if len(set(targets)) != len(targets):
+        raise MeasurementError(f"duplicate measurement targets {targets!r}")
+    return targets
+
+
+def _expanded_projectors(
+    num_qubits: int, basis: MeasurementBasis, targets: Sequence[int] | None
+) -> list[np.ndarray]:
+    targets = _normalize_targets(num_qubits, basis, targets)
+    if len(targets) == num_qubits and targets == list(range(num_qubits)):
+        return basis.projectors()
+    return [
+        expand_operator(p, targets, num_qubits) for p in basis.projectors()
+    ]
+
+
+def _pure_from_density(state: DensityMatrix) -> StateVector | DensityMatrix:
+    """Return a StateVector when ``state`` is (numerically) pure."""
+    if not state.is_pure(tolerance=1e-9):
+        return state
+    eigs, vecs = np.linalg.eigh(state.matrix)
+    return StateVector(vecs[:, int(np.argmax(eigs))])

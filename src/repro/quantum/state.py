@@ -1,0 +1,359 @@
+"""State-vector and density-matrix representations.
+
+:class:`StateVector` holds a pure state of ``n`` qubits;
+:class:`DensityMatrix` holds a (possibly mixed) state. Both are immutable:
+operations return new objects. Measurement lives in
+:mod:`repro.quantum.measurement`; this module provides the state algebra
+(apply gates, tensor, partial trace, expectation values).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, NotDensityMatrixError
+from repro.quantum import linalg
+from repro.quantum.linalg import (
+    ATOL,
+    as_complex_array,
+    dagger,
+    dim_of_num_qubits,
+    expand_operator,
+    num_qubits_of_dim,
+    require_hermitian,
+    require_normalized,
+    require_unitary,
+    require_vector,
+)
+
+__all__ = ["StateVector", "DensityMatrix"]
+
+
+class StateVector:
+    """An immutable pure state of ``num_qubits`` qubits.
+
+    Qubit 0 is the most significant bit of the computational basis index,
+    so ``StateVector.from_bits("01")`` is the paper's ``|01>``.
+    """
+
+    __slots__ = ("_vec", "_num_qubits")
+
+    def __init__(self, amplitudes: Sequence[complex] | np.ndarray) -> None:
+        vec = as_complex_array(amplitudes).reshape(-1)
+        require_vector(vec)
+        require_normalized(vec)
+        self._vec = vec
+        self._vec.flags.writeable = False
+        self._num_qubits = num_qubits_of_dim(vec.shape[0])
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def zeros(cls, num_qubits: int) -> "StateVector":
+        """Return ``|0...0>`` on ``num_qubits`` qubits."""
+        vec = np.zeros(dim_of_num_qubits(num_qubits), dtype=np.complex128)
+        vec[0] = 1.0
+        return cls(vec)
+
+    @classmethod
+    def from_bits(cls, bits: str) -> "StateVector":
+        """Return the computational basis state named by a bit string."""
+        if not bits or any(b not in "01" for b in bits):
+            raise DimensionError(f"invalid bit string {bits!r}")
+        index = int(bits, 2)
+        vec = np.zeros(dim_of_num_qubits(len(bits)), dtype=np.complex128)
+        vec[index] = 1.0
+        return cls(vec)
+
+    @classmethod
+    def from_amplitudes(cls, amplitudes: Sequence[complex]) -> "StateVector":
+        """Build a state from unnormalized amplitudes (normalizes)."""
+        return cls(linalg.ket_from_amplitudes(amplitudes))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the state."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension, ``2**num_qubits``."""
+        return self._vec.shape[0]
+
+    @property
+    def vector(self) -> np.ndarray:
+        """The underlying (read-only) amplitude array."""
+        return self._vec
+
+    def amplitude(self, bits: str) -> complex:
+        """Return the amplitude of basis state ``bits``."""
+        if len(bits) != self._num_qubits:
+            raise DimensionError(
+                f"bit string {bits!r} does not address {self._num_qubits} qubits"
+            )
+        return complex(self._vec[int(bits, 2)])
+
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities over the computational basis."""
+        return np.abs(self._vec) ** 2
+
+    # -- algebra -----------------------------------------------------------
+
+    def apply(self, unitary: np.ndarray, targets: Sequence[int] | None = None
+              ) -> "StateVector":
+        """Apply ``unitary`` to the given target qubits (all, if omitted)."""
+        require_unitary(unitary)
+        if targets is None:
+            if unitary.shape[0] != self.dim:
+                raise DimensionError(
+                    f"unitary dim {unitary.shape[0]} != state dim {self.dim}"
+                )
+            return StateVector(unitary @ self._vec)
+        full = expand_operator(unitary, targets, self._num_qubits)
+        return StateVector(full @ self._vec)
+
+    def tensor(self, other: "StateVector") -> "StateVector":
+        """Return ``self (x) other``."""
+        return StateVector(np.kron(self._vec, other._vec))
+
+    def expectation(self, observable: np.ndarray) -> float:
+        """Return ``<psi|O|psi>`` for a Hermitian observable."""
+        require_hermitian(observable)
+        if observable.shape[0] != self.dim:
+            raise DimensionError(
+                f"observable dim {observable.shape[0]} != state dim {self.dim}"
+            )
+        return float(np.real(np.vdot(self._vec, observable @ self._vec)))
+
+    def overlap(self, other: "StateVector") -> complex:
+        """Return ``<self|other>``."""
+        return linalg.inner(self._vec, other._vec)
+
+    def fidelity(self, other: "StateVector") -> float:
+        """Return ``|<self|other>|^2``."""
+        return abs(self.overlap(other)) ** 2
+
+    def to_density_matrix(self) -> "DensityMatrix":
+        """Return the rank-one density matrix ``|psi><psi|``."""
+        return DensityMatrix(np.outer(self._vec, self._vec.conj()))
+
+    def permute(self, perm: Sequence[int]) -> "StateVector":
+        """Reorder qubits: new qubit ``i`` is old qubit ``perm[i]``."""
+        return StateVector(linalg.permute_qubits_vector(self._vec, perm))
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateVector):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and bool(
+            np.allclose(self._vec, other._vec, atol=ATOL)
+        )
+
+    def __hash__(self) -> int:  # immutability makes hashing legitimate
+        return hash((self._num_qubits, self._vec.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"StateVector(num_qubits={self._num_qubits})"
+
+
+class DensityMatrix:
+    """An immutable density matrix (PSD, trace one) on ``num_qubits`` qubits."""
+
+    __slots__ = ("_mat", "_num_qubits")
+
+    def __init__(self, matrix: np.ndarray, *, validate: bool = True) -> None:
+        mat = as_complex_array(matrix)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise DimensionError(f"density matrix must be square, got {mat.shape}")
+        self._num_qubits = num_qubits_of_dim(mat.shape[0])
+        if validate:
+            _require_density(mat)
+        self._mat = mat
+        self._mat.flags.writeable = False
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_state_vector(cls, state: StateVector) -> "DensityMatrix":
+        """Return ``|psi><psi|``."""
+        return state.to_density_matrix()
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        """Return ``I / 2**n``."""
+        dim = dim_of_num_qubits(num_qubits)
+        return cls(np.eye(dim, dtype=np.complex128) / dim, validate=False)
+
+    @classmethod
+    def mixture(
+        cls, parts: Sequence[tuple[float, "DensityMatrix | StateVector"]]
+    ) -> "DensityMatrix":
+        """Return a convex mixture ``sum_i p_i rho_i``.
+
+        Probabilities must be non-negative and sum to one (within tolerance).
+        """
+        if not parts:
+            raise DimensionError("mixture requires at least one component")
+        total = sum(p for p, _ in parts)
+        if any(p < -ATOL for p, _ in parts) or abs(total - 1.0) > 1e-8:
+            raise NotDensityMatrixError(
+                f"mixture weights {[p for p, _ in parts]!r} are not a distribution"
+            )
+        mats = []
+        for p, component in parts:
+            if isinstance(component, StateVector):
+                component = component.to_density_matrix()
+            mats.append(p * component.matrix)
+        out = mats[0]
+        for m in mats[1:]:
+            if m.shape != out.shape:
+                raise DimensionError("mixture components have mismatched dims")
+            out = out + m
+        return cls(out)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension."""
+        return self._mat.shape[0]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying (read-only) matrix."""
+        return self._mat
+
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities over the computational basis (diagonal)."""
+        return np.real(np.diag(self._mat)).clip(min=0.0)
+
+    def purity(self) -> float:
+        """Return ``Tr(rho^2)``; 1 for pure states."""
+        return float(np.real(np.trace(self._mat @ self._mat)))
+
+    def is_pure(self, tolerance: float = 1e-8) -> bool:
+        """Return True iff the state is pure within ``tolerance``."""
+        return abs(self.purity() - 1.0) <= tolerance
+
+    # -- algebra ------------------------------------------------------------
+
+    def apply(self, unitary: np.ndarray, targets: Sequence[int] | None = None
+              ) -> "DensityMatrix":
+        """Conjugate by a unitary on the given targets (all, if omitted)."""
+        require_unitary(unitary)
+        if targets is not None:
+            unitary = expand_operator(unitary, targets, self._num_qubits)
+        elif unitary.shape[0] != self.dim:
+            raise DimensionError(
+                f"unitary dim {unitary.shape[0]} != state dim {self.dim}"
+            )
+        return DensityMatrix(
+            unitary @ self._mat @ dagger(unitary), validate=False
+        )
+
+    def tensor(self, other: "DensityMatrix") -> "DensityMatrix":
+        """Return ``self (x) other``."""
+        return DensityMatrix(np.kron(self._mat, other._mat), validate=False)
+
+    def expectation(self, observable: np.ndarray) -> float:
+        """Return ``Tr(rho O)`` for a Hermitian observable."""
+        require_hermitian(observable)
+        if observable.shape[0] != self.dim:
+            raise DimensionError(
+                f"observable dim {observable.shape[0]} != state dim {self.dim}"
+            )
+        return float(np.real(np.trace(self._mat @ observable)))
+
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Trace out every qubit not listed in ``keep``.
+
+        The kept qubits appear in the result in the order given, which must
+        be strictly increasing to avoid silently permuting the system.
+        """
+        keep = list(keep)
+        if keep != sorted(set(keep)):
+            raise DimensionError(f"keep list {keep!r} must be strictly increasing")
+        n = self._num_qubits
+        for q in keep:
+            if not 0 <= q < n:
+                raise DimensionError(f"qubit {q} out of range for {n} qubits")
+        if len(keep) == n:
+            return self
+        tensor = self._mat.reshape([2] * (2 * n))
+        traced = tensor
+        # Trace out highest-index qubits first so axis numbers stay valid.
+        removed = 0
+        for q in sorted((set(range(n)) - set(keep)), reverse=True):
+            m = n - removed
+            traced = np.trace(traced, axis1=q, axis2=q + m)
+            removed += 1
+        dim = dim_of_num_qubits(len(keep))
+        return DensityMatrix(traced.reshape(dim, dim), validate=False)
+
+    def eigenvalues(self) -> np.ndarray:
+        """Return the (real, ascending) eigenvalues of the state."""
+        return np.linalg.eigvalsh(self._mat)
+
+    def von_neumann_entropy(self) -> float:
+        """Return ``-Tr(rho log2 rho)`` in bits."""
+        eigs = self.eigenvalues().clip(min=0.0)
+        nonzero = eigs[eigs > 1e-15]
+        return float(-np.sum(nonzero * np.log2(nonzero)))
+
+    def fidelity(self, other: "DensityMatrix | StateVector") -> float:
+        """Uhlmann fidelity ``F(rho, sigma) = (Tr sqrt(sqrt(rho) sigma sqrt(rho)))^2``."""
+        if isinstance(other, StateVector):
+            # F = <psi| rho |psi> when one state is pure.
+            vec = other.vector
+            return float(np.real(np.vdot(vec, self._mat @ vec)))
+        sqrt_rho = _matrix_sqrt(self._mat)
+        inner_mat = sqrt_rho @ other._mat @ sqrt_rho
+        eigs = np.linalg.eigvalsh(inner_mat).clip(min=0.0)
+        return float(np.sum(np.sqrt(eigs)) ** 2)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DensityMatrix):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and bool(
+            np.allclose(self._mat, other._mat, atol=ATOL)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._num_qubits, self._mat.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"DensityMatrix(num_qubits={self._num_qubits}, "
+            f"purity={self.purity():.6f})"
+        )
+
+
+def _require_density(mat: np.ndarray, tolerance: float = 1e-8) -> None:
+    """Raise :class:`NotDensityMatrixError` unless ``mat`` is a density matrix."""
+    if not np.allclose(mat, dagger(mat), atol=tolerance):
+        raise NotDensityMatrixError("matrix is not Hermitian")
+    trace = float(np.real(np.trace(mat)))
+    if abs(trace - 1.0) > tolerance:
+        raise NotDensityMatrixError(f"trace {trace} != 1")
+    eigs = np.linalg.eigvalsh(mat)
+    if eigs.min() < -tolerance:
+        raise NotDensityMatrixError(f"negative eigenvalue {eigs.min()}")
+
+
+def _matrix_sqrt(mat: np.ndarray) -> np.ndarray:
+    """PSD matrix square root via eigendecomposition."""
+    eigs, vecs = np.linalg.eigh(mat)
+    eigs = eigs.clip(min=0.0)
+    return (vecs * np.sqrt(eigs)) @ dagger(vecs)

@@ -1,0 +1,20 @@
+"""Small dense SDP solver (ADMM) and Gram-vector utilities.
+
+Standing in for Toqito's SDP backends (DESIGN.md §2): computes the
+Tsirelson quantum value of XOR games and NPA level-1 upper bounds.
+"""
+
+from repro.sdp.admm import solve_diagonal_sdp, solve_sdp
+from repro.sdp.gram import gram_rank, gram_vectors
+from repro.sdp.projections import project_psd, symmetrize
+from repro.sdp.result import SDPResult
+
+__all__ = [
+    "solve_diagonal_sdp",
+    "solve_sdp",
+    "gram_rank",
+    "gram_vectors",
+    "project_psd",
+    "symmetrize",
+    "SDPResult",
+]

@@ -1,0 +1,31 @@
+"""Cone and subspace projections used by the ADMM SDP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["project_psd", "symmetrize", "project_affine_diag"]
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part of a square matrix."""
+    return (matrix + matrix.T) / 2.0
+
+
+def project_psd(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone (Frobenius-nearest)."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise SolverError(f"cannot PSD-project shape {matrix.shape}")
+    sym = symmetrize(matrix)
+    eigs, vecs = np.linalg.eigh(sym)
+    clipped = eigs.clip(min=0.0)
+    return (vecs * clipped) @ vecs.T
+
+
+def project_affine_diag(matrix: np.ndarray, diagonal: np.ndarray) -> np.ndarray:
+    """Project onto the affine set ``{X : diag(X) = diagonal}``."""
+    out = symmetrize(matrix).copy()
+    np.fill_diagonal(out, diagonal)
+    return out

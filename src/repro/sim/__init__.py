@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine (simpy-like, built from scratch).
+
+See DESIGN.md §2: the offline environment has no simpy, so this package
+provides the generator-based engine the network substrate runs on.
+"""
+
+from repro.sim.core import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.events import AllOf, AnyOf
+from repro.sim.monitor import Counter, SeriesRecorder, TimeWeightedValue
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "SeriesRecorder",
+    "TimeWeightedValue",
+    "Resource",
+    "Store",
+    "RandomStreams",
+]

@@ -1,0 +1,288 @@
+"""A small generator-based discrete-event simulation engine.
+
+The standard tool here would be simpy; this offline reproduction ships
+its own engine with the same core idioms (DESIGN.md §2):
+
+- An :class:`Environment` owns the clock and the event heap.
+- A *process* is a Python generator that ``yield``\\ s events; it resumes
+  when the event fires, receiving the event's value (or the event's
+  exception, raised inside the generator).
+- :class:`Event` supports ``succeed`` / ``fail``; :class:`Timeout` fires
+  after a delay; combinators live in :mod:`repro.sim.events`.
+
+Example::
+
+    env = Environment()
+
+    def worker(env):
+        yield Timeout(env, 3.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 3.0 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import SchedulingError, SimulationError
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    Attributes:
+        cause: the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* when given a value (or exception) and
+    *processed* once the environment has run its callbacks.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._exception is not None:
+            raise self._exception
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        """True when the event carries an exception."""
+        return self._exception is not None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully; returns self for chaining."""
+        if self._triggered:
+            raise SchedulingError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SchedulingError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        super().__init__(env)
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class ProcessTerminated(Exception):
+    """Internal sentinel carrying a process's return value."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The process's return value becomes the event value, so processes can
+    wait on each other: ``result = yield env.process(child(env))``.
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process target must be a generator, got "
+                f"{type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self._expected: Event | None = None
+        # Bootstrap: resume the generator at time now.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        self._expected = bootstrap
+        bootstrap.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on keeps running; when it
+        eventually fires it is ignored (the process has moved on). A
+        process may catch the interrupt and yield a new event.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        relay = Event(self.env)
+        relay.callbacks.append(self._resume)
+        self._expected = relay
+        relay.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered or event is not self._expected:
+            return  # stale wakeup from an event we stopped waiting on
+        self._expected = None
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                next_event = self._generator.throw(event._exception)
+            else:
+                next_event = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate into waiters
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process yielded {type(next_event).__name__}, not an Event"
+                )
+            )
+            return
+        if next_event.env is not self.env:
+            self._generator.close()
+            self.fail(SimulationError("process yielded a foreign event"))
+            return
+        self._waiting_on = next_event
+        if next_event.processed:
+            # The event already fired; resume on the next scheduling step.
+            relay = Event(self.env)
+            relay.callbacks.append(self._resume)
+            self._expected = relay
+            if next_event._exception is not None:
+                relay.fail(next_event._exception)
+            else:
+                relay.succeed(next_event._value)
+        else:
+            next_event.callbacks.append(self._resume)
+            self._expected = next_event
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` (convenience mirror of simpy)."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, self._counter, event))
+        self._counter += 1
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Args:
+            until: ``None`` runs to quiescence; a number runs until the
+                clock would pass it (the clock is then set to it); an
+                :class:`Event` runs until that event is processed and
+                returns its value.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "queue drained before the target event fired"
+                    )
+                self.step()
+            return target.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise SchedulingError(
+                f"cannot run until {deadline}; clock already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

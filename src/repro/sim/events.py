@@ -1,0 +1,74 @@
+"""Event combinators: wait for all or any of a set of events."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["AllOf", "AnyOf"]
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, this event fails with the first failure.
+    """
+
+    def __init__(self, env: Environment, events: Sequence[Event]) -> None:
+        super().__init__(env)
+        events = list(events)
+        if not events:
+            raise SimulationError("AllOf needs at least one event")
+        self._children = events
+        self._pending = len(events)
+        for event in events:
+            if event.env is not env:
+                raise SimulationError("AllOf mixes environments")
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``.
+
+    A failing first child fails this event.
+    """
+
+    def __init__(self, env: Environment, events: Sequence[Event]) -> None:
+        super().__init__(env)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, event in enumerate(events):
+            if event.env is not env:
+                raise SimulationError("AnyOf mixes environments")
+            callback = self._make_callback(index)
+            if event.processed:
+                callback(event)
+            else:
+                event.callbacks.append(callback)
+
+    def _make_callback(self, index: int):
+        def on_child(event: Event) -> None:
+            if self._triggered:
+                return
+            if event._exception is not None:
+                self.fail(event._exception)
+            else:
+                self.succeed((index, event._value))
+
+        return on_child

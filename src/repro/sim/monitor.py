@@ -1,0 +1,94 @@
+"""Measurement helpers: time-weighted series and counters.
+
+Queue lengths in Fig 4 are *time averages*, so the monitor integrates a
+piecewise-constant signal against the simulation clock rather than
+averaging samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment
+
+__all__ = ["TimeWeightedValue", "Counter", "SeriesRecorder"]
+
+
+class TimeWeightedValue:
+    """Tracks a piecewise-constant value and its time-weighted average."""
+
+    def __init__(self, env: Environment, initial: float = 0.0) -> None:
+        self._env = env
+        self._value = float(initial)
+        self._last_change = env.now
+        self._weighted_sum = 0.0
+        self._start = env.now
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Change the value at the current simulation time."""
+        now = self._env.now
+        if now < self._last_change:
+            raise SimulationError("clock moved backwards")
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Increment the value."""
+        self.set(self._value + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean from creation until now."""
+        now = self._env.now
+        total = self._weighted_sum + self._value * (now - self._last_change)
+        duration = now - self._start
+        if duration <= 0:
+            return self._value
+        return total / duration
+
+
+@dataclass
+class Counter:
+    """A plain event counter with a rate helper."""
+
+    count: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        """Add ``by`` occurrences."""
+        self.count += by
+
+    def rate(self, duration: float) -> float:
+        """Occurrences per unit time over ``duration``."""
+        if duration <= 0:
+            raise SimulationError(f"non-positive duration {duration}")
+        return self.count / duration
+
+
+@dataclass
+class SeriesRecorder:
+    """Records (time, value) samples for later analysis."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must not decrease."""
+        if self.times and time < self.times[-1]:
+            raise SimulationError("samples must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        """Plain mean of recorded values."""
+        if not self.values:
+            raise SimulationError("no samples recorded")
+        return sum(self.values) / len(self.values)

@@ -1,0 +1,136 @@
+"""Shared resources for the simulation engine: Resource and Store.
+
+:class:`Resource` models a server with ``capacity`` slots and a FIFO
+request queue; :class:`Store` is a FIFO buffer of items with optional
+capacity, the building block for queues of requests/packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import ResourceError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Resource", "Store"]
+
+
+class _Request(Event):
+    """Event granted when the resource has a free slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    Usage inside a process::
+
+        request = resource.request()
+        yield request
+        ...           # hold the slot
+        resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._users: set[_Request] = set()
+        self._waiting: deque[_Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total slots."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires when granted."""
+        req = _Request(self)
+        if len(self._users) < self._capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Event) -> None:
+        """Return a previously granted slot."""
+        if not isinstance(request, _Request) or request.resource is not self:
+            raise ResourceError("release of a request from another resource")
+        try:
+            self._users.remove(request)
+        except KeyError as exc:
+            raise ResourceError("release of a slot not currently held") from exc
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class Store:
+    """A FIFO item buffer; ``put``/``get`` return events.
+
+    ``capacity`` bounds the number of stored items (``inf`` by default).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ResourceError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum items the store holds."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Items currently stored."""
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Deposit an item; fires immediately unless the store is full."""
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif len(self._items) < self._capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Withdraw the oldest item; fires when one is available."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed(None)
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,74 @@
+"""Tests for the seeded sweep runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import SeededResult, compare_seeded, run_seeded
+from repro.errors import ConfigurationError
+
+
+class TestRunSeeded:
+    def test_aggregates_samples(self):
+        result = run_seeded("id", lambda s: float(s), [1, 2, 3])
+        assert result.mean == pytest.approx(2.0)
+        assert result.samples == (1.0, 2.0, 3.0)
+        assert result.low <= result.mean <= result.high
+
+    def test_requires_seeds(self):
+        with pytest.raises(ConfigurationError):
+            run_seeded("x", lambda s: 0.0, [])
+
+    def test_deterministic_metric_degenerate_ci(self):
+        result = run_seeded("const", lambda s: 5.0, [1, 2, 3])
+        assert result.low == pytest.approx(result.high)
+
+    def test_overlap_detection(self):
+        a = SeededResult("a", 1.0, 0.5, 1.5, (1.0,))
+        b = SeededResult("b", 3.0, 2.5, 3.5, (3.0,))
+        c = SeededResult("c", 1.4, 1.2, 2.6, (1.4,))
+        assert not a.overlaps(b)
+        assert a.overlaps(c)
+        assert c.overlaps(b)
+
+    def test_overlap_symmetric(self):
+        a = SeededResult("a", 1.0, 0.5, 1.5, (1.0,))
+        b = SeededResult("b", 1.4, 1.4, 2.0, (1.4,))
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestCompareSeeded:
+    def test_runs_all_labels(self):
+        results = compare_seeded(
+            {"x": lambda s: float(s), "y": lambda s: 2.0 * s}, [1, 2]
+        )
+        assert set(results) == {"x", "y"}
+        assert results["y"].mean == pytest.approx(3.0)
+
+    def test_same_seeds_used(self):
+        seen = {"x": [], "y": []}
+
+        def make(label):
+            def metric(seed):
+                seen[label].append(seed)
+                return 0.0
+
+            return metric
+
+        compare_seeded({"x": make("x"), "y": make("y")}, [7, 8])
+        assert seen["x"] == seen["y"] == [7, 8]
+
+    def test_requires_metrics(self):
+        with pytest.raises(ConfigurationError):
+            compare_seeded({}, [1])
+
+    def test_noisy_metric_ci_brackets_truth(self):
+        rng_master = np.random.default_rng(0)
+        seeds = list(rng_master.integers(0, 10_000, size=30))
+
+        def metric(seed):
+            return float(np.random.default_rng(seed).normal(loc=10.0))
+
+        result = run_seeded("noisy", metric, seeds)
+        assert result.low < 10.0 < result.high

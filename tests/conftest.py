@@ -1,0 +1,17 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Helper for tests that need several independent streams."""
+    return np.random.default_rng(seed)

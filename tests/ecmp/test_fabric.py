@@ -1,0 +1,84 @@
+"""Tests for the flow-level ECMP fabric simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecmp import run_fabric_experiment
+from repro.errors import ConfigurationError
+
+
+MODERATE = dict(
+    num_switches=8,
+    num_paths=4,
+    flow_rate=0.075,
+    horizon=600.0,
+    seed=2,
+)
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            run_fabric_experiment(policy="psychic")
+
+    def test_topology_checked(self):
+        with pytest.raises(ConfigurationError):
+            run_fabric_experiment(num_switches=0)
+        with pytest.raises(ConfigurationError):
+            run_fabric_experiment(num_paths=0)
+
+    def test_empty_run_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fabric_experiment(flow_rate=0.001, horizon=1.0, seed=0)
+
+
+class TestBehavior:
+    def test_flow_counts_match_across_policies(self):
+        """Arrivals are policy-independent (same seeds), so flow counts
+        must match exactly."""
+        results = {
+            policy: run_fabric_experiment(policy=policy, **MODERATE)
+            for policy in ("per-flow", "random", "least-loaded")
+        }
+        counts = {r.flows for r in results.values()}
+        assert len(counts) == 1
+
+    def test_oracle_beats_random(self):
+        random_result = run_fabric_experiment(policy="random", **MODERATE)
+        oracle_result = run_fabric_experiment(policy="least-loaded", **MODERATE)
+        assert oracle_result.mean_fct < random_result.mean_fct
+
+    def test_oracle_beats_per_flow_hash(self):
+        hash_result = run_fabric_experiment(policy="per-flow", **MODERATE)
+        oracle_result = run_fabric_experiment(policy="least-loaded", **MODERATE)
+        assert oracle_result.mean_fct < hash_result.mean_fct
+
+    def test_reproducible(self):
+        a = run_fabric_experiment(policy="per-flow", **MODERATE)
+        b = run_fabric_experiment(policy="per-flow", **MODERATE)
+        assert a == b
+
+    def test_light_load_fast_completion(self):
+        result = run_fabric_experiment(
+            policy="random",
+            num_switches=4,
+            num_paths=4,
+            flow_rate=0.02,
+            mean_flow_size=1.0,
+            horizon=500.0,
+            seed=1,
+        )
+        # Near-idle fabric: completion ~ transmission time.
+        assert result.mean_fct < 3.0
+
+    def test_overload_grows_fct(self):
+        light = run_fabric_experiment(policy="random", **MODERATE)
+        heavy = run_fabric_experiment(
+            policy="random", **{**MODERATE, "flow_rate": 0.3}
+        )
+        assert heavy.mean_fct > light.mean_fct * 2
+
+    def test_p95_at_least_mean(self):
+        result = run_fabric_experiment(policy="random", **MODERATE)
+        assert result.p95_fct >= result.mean_fct

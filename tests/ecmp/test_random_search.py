@@ -1,0 +1,51 @@
+"""Tests for the multi-path random strategy search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecmp import CollisionGame, random_strategy_search
+from repro.errors import GameError
+
+
+class TestRandomStrategySearch:
+    def test_never_beats_classical_two_paths(self):
+        game = CollisionGame(3, 2, 2)
+        best = random_strategy_search(game, samples=50, seed=0)
+        assert best <= game.classical_value() + 1e-9
+
+    def test_never_beats_classical_three_paths(self):
+        game = CollisionGame(4, 3, 3)
+        best = random_strategy_search(game, samples=40, seed=0)
+        assert best <= game.classical_value() + 1e-9
+
+    def test_values_are_probabilities(self):
+        game = CollisionGame(3, 2, 3)
+        best = random_strategy_search(game, samples=20, seed=1)
+        assert 0.0 <= best <= 1.0
+
+    def test_reproducible(self):
+        game = CollisionGame(3, 2, 2)
+        a = random_strategy_search(game, samples=10, seed=5)
+        b = random_strategy_search(game, samples=10, seed=5)
+        assert a == b
+
+    def test_more_samples_never_worse(self):
+        game = CollisionGame(3, 2, 2)
+        few = random_strategy_search(game, samples=5, seed=3)
+        many = random_strategy_search(game, samples=50, seed=3)
+        assert many >= few
+
+    def test_larger_local_dim_accepted(self):
+        game = CollisionGame(3, 2, 2)
+        value = random_strategy_search(
+            game, samples=5, local_dim=4, seed=2
+        )
+        assert 0.0 <= value <= game.classical_value() + 1e-9
+
+    def test_validation(self):
+        game = CollisionGame(3, 2, 3)
+        with pytest.raises(GameError):
+            random_strategy_search(game, samples=0)
+        with pytest.raises(GameError):
+            random_strategy_search(game, local_dim=2)

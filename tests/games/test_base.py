@@ -1,0 +1,145 @@
+"""Tests for TwoPlayerGame."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.games import (
+    TwoPlayerGame,
+    chsh_game,
+    optimal_classical_strategy,
+    uniform_distribution,
+)
+
+
+class TestUniformDistribution:
+    def test_shape_and_sum(self):
+        dist = uniform_distribution(3, 4)
+        assert dist.shape == (3, 4)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GameError):
+            uniform_distribution(0, 2)
+
+
+class TestGameValidation:
+    def test_distribution_shape_checked(self):
+        with pytest.raises(GameError):
+            TwoPlayerGame(
+                name="bad",
+                num_inputs_a=2,
+                num_inputs_b=2,
+                num_outputs_a=2,
+                num_outputs_b=2,
+                distribution=np.ones((3, 3)) / 9,
+                predicate=lambda x, y, a, b: True,
+            )
+
+    def test_distribution_normalization_checked(self):
+        with pytest.raises(GameError):
+            TwoPlayerGame(
+                name="bad",
+                num_inputs_a=2,
+                num_inputs_b=2,
+                num_outputs_a=2,
+                num_outputs_b=2,
+                distribution=np.ones((2, 2)),
+                predicate=lambda x, y, a, b: True,
+            )
+
+    def test_output_alphabet_checked(self):
+        with pytest.raises(GameError):
+            TwoPlayerGame(
+                name="bad",
+                num_inputs_a=1,
+                num_inputs_b=1,
+                num_outputs_a=0,
+                num_outputs_b=2,
+                distribution=np.ones((1, 1)),
+                predicate=lambda x, y, a, b: True,
+            )
+
+    def test_repr(self):
+        assert "chsh" in repr(chsh_game())
+
+
+class TestValues:
+    def test_chsh_classical_value(self):
+        assert chsh_game().classical_value() == pytest.approx(0.75)
+
+    def test_chsh_best_strategy_wins_three_quarters(self):
+        game = chsh_game()
+        alice, bob = game.best_classical_strategy()
+        assert game.deterministic_value(alice, bob) == pytest.approx(0.75)
+
+    def test_trivial_game_value_one(self):
+        game = TwoPlayerGame(
+            name="always-win",
+            num_inputs_a=2,
+            num_inputs_b=2,
+            num_outputs_a=2,
+            num_outputs_b=2,
+            distribution=uniform_distribution(2, 2),
+            predicate=lambda x, y, a, b: True,
+        )
+        assert game.classical_value() == pytest.approx(1.0)
+
+    def test_impossible_game_value_zero(self):
+        game = TwoPlayerGame(
+            name="never-win",
+            num_inputs_a=1,
+            num_inputs_b=1,
+            num_outputs_a=2,
+            num_outputs_b=2,
+            distribution=np.ones((1, 1)),
+            predicate=lambda x, y, a, b: False,
+        )
+        assert game.classical_value() == pytest.approx(0.0)
+
+    def test_matching_game(self):
+        # Win iff outputs equal; trivially winnable classically.
+        game = TwoPlayerGame(
+            name="match",
+            num_inputs_a=2,
+            num_inputs_b=2,
+            num_outputs_a=2,
+            num_outputs_b=2,
+            distribution=uniform_distribution(2, 2),
+            predicate=lambda x, y, a, b: a == b,
+        )
+        assert game.classical_value() == pytest.approx(1.0)
+
+    def test_deterministic_value_validates_lengths(self):
+        game = chsh_game()
+        with pytest.raises(GameError):
+            game.deterministic_value([0], [0, 0])
+        with pytest.raises(GameError):
+            game.deterministic_value([0, 0], [0])
+
+    def test_win_probability_of_behavior_chsh_classical(self):
+        game = chsh_game()
+        behavior = optimal_classical_strategy().behavior()
+        assert game.win_probability_of_behavior(behavior) == pytest.approx(0.75)
+
+    def test_win_probability_of_behavior_shape_checked(self):
+        with pytest.raises(GameError):
+            chsh_game().win_probability_of_behavior(np.zeros((2, 2, 2)))
+
+    def test_nonuniform_distribution(self):
+        # Weight all mass on x=y=1; CHSH then requires a XOR b = 1.
+        dist = np.zeros((2, 2))
+        dist[1, 1] = 1.0
+        game = TwoPlayerGame(
+            name="chsh-corner",
+            num_inputs_a=2,
+            num_inputs_b=2,
+            num_outputs_a=2,
+            num_outputs_b=2,
+            distribution=dist,
+            predicate=lambda x, y, a, b: (a ^ b) == (x & y),
+        )
+        # Classical strategy a=0, b=1 wins always.
+        assert game.classical_value() == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Tests for the generalized Mermin parity games."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.games import (
+    ghz_game,
+    mermin_classical_value,
+    mermin_game,
+    mermin_optimal_strategy,
+)
+
+
+class TestGameStructure:
+    def test_three_players_is_ghz_game(self):
+        mermin = mermin_game(3)
+        ghz = ghz_game()
+        assert set(mermin.inputs) == set(ghz.inputs)
+        mermin_targets = dict(zip(mermin.inputs, mermin.targets))
+        ghz_targets = dict(zip(ghz.inputs, ghz.targets))
+        assert mermin_targets == ghz_targets
+
+    def test_inputs_have_even_weight(self):
+        game = mermin_game(4)
+        for bits in game.inputs:
+            assert sum(bits) % 2 == 0
+
+    def test_input_count(self):
+        # Half of all strings have even weight.
+        for n in (2, 3, 4, 5):
+            assert len(mermin_game(n).inputs) == 2 ** (n - 1)
+
+    def test_minimum_players(self):
+        with pytest.raises(GameError):
+            mermin_game(1)
+        with pytest.raises(GameError):
+            mermin_classical_value(1)
+
+
+class TestValues:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_classical_value_matches_formula(self, n):
+        assert mermin_game(n).classical_value() == pytest.approx(
+            mermin_classical_value(n)
+        )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_ghz_strategy_is_perfect(self, n):
+        game = mermin_game(n)
+        strategy = mermin_optimal_strategy(n)
+        assert game.quantum_value_of_strategy(strategy) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_advantage_grows_with_players(self):
+        """The paper: multipartite XOR games have larger advantages."""
+        gaps = [
+            1.0 - mermin_classical_value(n) for n in (3, 5, 7, 9)
+        ]
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > gaps[0]
+
+    def test_two_players_no_advantage(self):
+        # Even-weight promise with 2 players is classically winnable.
+        assert mermin_classical_value(2) == 1.0
+
+
+class TestMonteCarlo:
+    def test_sampled_play_never_loses(self):
+        game = mermin_game(4)
+        strategy = mermin_optimal_strategy(4)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            idx = int(rng.choice(len(game.inputs)))
+            outputs = strategy.play(game.inputs[idx], rng)
+            parity = 0
+            for bit in outputs:
+                parity ^= bit
+            assert parity == game.targets[idx]

@@ -1,0 +1,113 @@
+"""Tests for game/graph JSON serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.games import (
+    AffinityGraph,
+    XORGame,
+    chsh_game,
+    xor_game_from_graph,
+)
+from repro.games.serialization import (
+    affinity_from_dict,
+    affinity_to_dict,
+    game_from_dict,
+    game_to_dict,
+    load_json,
+    save_json,
+    xor_game_from_dict,
+    xor_game_to_dict,
+)
+
+
+class TestXORGameRoundTrip:
+    def test_chsh_round_trip(self):
+        game = XORGame.chsh()
+        loaded = xor_game_from_dict(xor_game_to_dict(game))
+        assert loaded.name == game.name
+        assert np.allclose(loaded.distribution, game.distribution)
+        assert (loaded.targets == game.targets).all()
+
+    def test_values_preserved(self):
+        game = XORGame.chsh()
+        loaded = xor_game_from_dict(xor_game_to_dict(game))
+        assert loaded.classical_value() == pytest.approx(
+            game.classical_value()
+        )
+
+    def test_kind_checked(self):
+        with pytest.raises(GameError):
+            xor_game_from_dict({"kind": "nope"})
+
+
+class TestTwoPlayerGameRoundTrip:
+    def test_chsh_round_trip(self):
+        game = chsh_game()
+        loaded = game_from_dict(game_to_dict(game))
+        assert loaded.classical_value() == pytest.approx(0.75)
+        for x in range(2):
+            for y in range(2):
+                for a in range(2):
+                    for b in range(2):
+                        assert loaded.predicate(x, y, a, b) == game.predicate(
+                            x, y, a, b
+                        )
+
+    def test_bad_table_shape(self):
+        data = game_to_dict(chsh_game())
+        data["win_table"] = [[True]]
+        with pytest.raises(GameError):
+            game_from_dict(data)
+
+
+class TestAffinityRoundTrip:
+    def test_round_trip(self):
+        graph = AffinityGraph.complete(4, {(0, 1), (2, 3)})
+        loaded = affinity_from_dict(affinity_to_dict(graph))
+        assert loaded.num_types == 4
+        assert loaded.is_exclusive(0, 1)
+        assert not loaded.is_exclusive(0, 2)
+
+    def test_induced_game_identical(self):
+        graph = AffinityGraph.complete(3, {(0, 2)})
+        loaded = affinity_from_dict(affinity_to_dict(graph))
+        original_game = xor_game_from_graph(graph)
+        loaded_game = xor_game_from_graph(loaded)
+        assert np.allclose(
+            original_game.distribution, loaded_game.distribution
+        )
+        assert (original_game.targets == loaded_game.targets).all()
+
+
+class TestFiles:
+    def test_save_load_xor(self, tmp_path):
+        path = tmp_path / "game.json"
+        save_json(XORGame.chsh(), path)
+        loaded = load_json(path)
+        assert isinstance(loaded, XORGame)
+
+    def test_save_load_two_player(self, tmp_path):
+        path = tmp_path / "game.json"
+        save_json(chsh_game(), path)
+        loaded = load_json(path)
+        assert loaded.classical_value() == pytest.approx(0.75)
+
+    def test_save_load_affinity(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(AffinityGraph.complete(3, set()), path)
+        loaded = load_json(path)
+        assert isinstance(loaded, AffinityGraph)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery"}')
+        with pytest.raises(GameError):
+            load_json(path)
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(GameError):
+            save_json(object(), tmp_path / "x.json")

@@ -1,0 +1,68 @@
+"""SDP tolerance vs advantage detection (DESIGN.md §5 ablation).
+
+Fig 3's advantage verdicts must not depend on solver knobs: the primal
+value is feasible (a true lower bound) and the dual certificate a true
+upper bound at *any* tolerance, so clear-cut games get the same verdict
+whether the solver runs loose or tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    XORGame,
+    has_quantum_advantage,
+    random_affinity_graph,
+    xor_game_from_graph,
+    xor_quantum_value,
+)
+
+
+class TestToleranceRobustness:
+    def test_chsh_verdict_stable_across_tolerances(self):
+        for tolerance in (1e-5, 1e-7, 1e-9):
+            assert has_quantum_advantage(XORGame.chsh(), tolerance=tolerance)
+
+    def test_no_advantage_verdict_stable(self):
+        dist = np.full((3, 3), 1.0 / 9)
+        game = XORGame("co", dist, np.zeros((3, 3), dtype=int))
+        for tolerance in (1e-5, 1e-7, 1e-9):
+            assert not has_quantum_advantage(game, tolerance=tolerance)
+
+    def test_loose_solve_still_bracketed(self):
+        """Even a loose solve keeps primal <= optimum <= dual."""
+        game = XORGame.chsh()
+        loose = xor_quantum_value(game, tolerance=1e-4)
+        tight = xor_quantum_value(game, tolerance=1e-10)
+        assert loose.quantum_bias <= tight.quantum_bias_upper + 1e-9
+        assert tight.quantum_bias <= loose.quantum_bias_upper + 1e-9
+
+    def test_random_graph_verdicts_agree(self):
+        rng = np.random.default_rng(17)
+        agreements = 0
+        total = 8
+        for _ in range(total):
+            graph = random_affinity_graph(4, 0.5, rng)
+            game = xor_game_from_graph(graph)
+            loose = has_quantum_advantage(game, tolerance=1e-6)
+            tight = has_quantum_advantage(game, tolerance=1e-9)
+            agreements += loose == tight
+        assert agreements == total
+
+    def test_threshold_separates_marginal_games(self):
+        """A generous threshold suppresses advantage detection; the
+        default threshold keeps it for CHSH's 0.1 gap."""
+        game = XORGame.chsh()
+        assert has_quantum_advantage(game, threshold=1e-5)
+        assert not has_quantum_advantage(game, threshold=0.5)
+
+    def test_value_gap_shrinks_with_tolerance(self):
+        game = XORGame.chsh()
+        loose = xor_quantum_value(game, tolerance=1e-4)
+        tight = xor_quantum_value(game, tolerance=1e-10)
+        loose_gap = loose.quantum_bias_upper - loose.quantum_bias
+        tight_gap = tight.quantum_bias_upper - tight.quantum_bias
+        assert tight_gap <= loose_gap + 1e-9
+        assert tight_gap == pytest.approx(0.0, abs=1e-6)

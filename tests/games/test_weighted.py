@@ -1,0 +1,95 @@
+"""Tests for value-weighted colocation games."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError
+from repro.games.weighted import (
+    advantage_boundary_cc_weight,
+    weighted_colocation_game,
+    weighted_values,
+)
+
+
+class TestConstruction:
+    def test_uniform_weights_recover_colocation_game(self):
+        game = weighted_colocation_game(0.5)
+        assert np.allclose(game.distribution, 0.25)
+        assert game.targets[1, 1] == 0
+        assert game.targets[0, 0] == 1
+
+    def test_weights_reshape_distribution(self):
+        game = weighted_colocation_game(0.5, cc_weight=3.0)
+        # CC mass = 0.25*3 / (0.75 + 0.75) -> 0.5.
+        assert game.distribution[1, 1] == pytest.approx(0.5)
+        assert game.distribution.sum() == pytest.approx(1.0)
+
+    def test_zero_weight_removes_case(self):
+        game = weighted_colocation_game(0.5, ee_weight=0.0)
+        assert game.distribution[0, 0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(GameError):
+            weighted_colocation_game(0.0)
+        with pytest.raises(GameError):
+            weighted_colocation_game(0.5, cc_weight=-1.0)
+        with pytest.raises(GameError):
+            weighted_colocation_game(
+                0.5, cc_weight=0.0, ce_weight=0.0, ee_weight=0.0
+            )
+
+
+class TestValues:
+    def test_uniform_is_chsh(self):
+        value = weighted_values(0.5)
+        assert value.classical_value == pytest.approx(0.75)
+        assert value.quantum_value == pytest.approx(
+            math.cos(math.pi / 8) ** 2, abs=1e-6
+        )
+
+    def test_advantage_decreases_with_cc_weight(self):
+        advantages = [
+            weighted_values(0.5, cc_weight=w).advantage for w in (1, 2, 4, 8)
+        ]
+        assert advantages == sorted(advantages, reverse=True)
+        assert all(a > 0 for a in advantages)
+
+    def test_classical_grows_with_cc_weight(self):
+        """Heavier CC weight favors the deterministic colocate strategy."""
+        values = [
+            weighted_values(0.5, cc_weight=w).classical_value
+            for w in (1, 4, 16)
+        ]
+        assert values == sorted(values)
+
+    def test_heavy_ce_weight_trivializes(self):
+        """When only mixed pairs matter, split-always is perfect."""
+        value = weighted_values(
+            0.5, cc_weight=0.0, ce_weight=1.0, ee_weight=0.0
+        )
+        assert value.classical_value == pytest.approx(1.0)
+        assert value.advantage == pytest.approx(0.0, abs=1e-6)
+
+    def test_quantum_at_least_classical(self):
+        rng_weights = [(1.0, 2.0, 0.5), (3.0, 1.0, 2.0), (0.2, 1.0, 5.0)]
+        for cc, ce, ee in rng_weights:
+            value = weighted_values(
+                0.5, cc_weight=cc, ce_weight=ce, ee_weight=ee
+            )
+            assert value.quantum_bias >= value.classical_bias - 1e-9
+
+
+class TestBoundary:
+    def test_advantage_persists_at_moderate_weights(self):
+        boundary = advantage_boundary_cc_weight(0.5, threshold=0.02, hi=32.0)
+        # Advantage stays above 2 points until cc_weight ~ 8-12.
+        assert 4.0 < boundary <= 32.0
+
+    def test_degenerate_threshold_returns_lo(self):
+        # A threshold above the unweighted advantage triggers at lo.
+        boundary = advantage_boundary_cc_weight(0.5, threshold=0.5)
+        assert boundary == 1.0

@@ -1,0 +1,97 @@
+"""Tests for entanglement supply scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.scheduler import (
+    analytic_pair_availability,
+    effective_win_probability,
+    simulate_pair_availability,
+)
+
+
+class TestAnalytic:
+    def test_fast_supply_saturates(self):
+        assert analytic_pair_availability(1e6, 1e3, 1e-3) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_starved_supply(self):
+        # R*T = 0.1 -> 1 - e^-0.1.
+        value = analytic_pair_availability(1e3, 1e4, 100e-6)
+        assert value == pytest.approx(0.09516, abs=1e-4)
+
+    def test_monotone_in_storage(self):
+        values = [
+            analytic_pair_availability(1e4, 1e3, t)
+            for t in (10e-6, 100e-6, 1e-3)
+        ]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            analytic_pair_availability(0.0, 1.0, 1.0)
+        with pytest.raises(HardwareError):
+            analytic_pair_availability(1.0, 1.0, 0.0)
+
+
+class TestSimulated:
+    def test_fast_supply_near_one(self):
+        value = simulate_pair_availability(1e6, 1e4, 100e-6, seed=1)
+        assert value > 0.95
+
+    def test_analytic_upper_bounds_simulation(self):
+        """The closed form ignores consumption, so it bounds from above."""
+        for rates in ((1e4, 1e3), (1e4, 1e4), (1e3, 1e4)):
+            pair_rate, request_rate = rates
+            sim = simulate_pair_availability(
+                pair_rate, request_rate, 200e-6, seed=2
+            )
+            analytic = analytic_pair_availability(
+                pair_rate, request_rate, 200e-6
+            )
+            assert sim <= analytic + 0.02
+
+    def test_contended_regime_capped_by_supply_ratio(self):
+        """When requests outpace pairs, availability caps at R/lambda."""
+        value = simulate_pair_availability(1e3, 1e4, 1.0, seed=3)
+        assert value == pytest.approx(0.1, abs=0.02)
+
+    def test_bigger_buffer_helps_under_bursts(self):
+        small = simulate_pair_availability(
+            1e4, 1e4, 2e-4, buffer_size=1, seed=4
+        )
+        large = simulate_pair_availability(
+            1e4, 1e4, 2e-4, buffer_size=8, seed=4
+        )
+        assert large >= small
+
+    def test_reproducible(self):
+        a = simulate_pair_availability(1e4, 1e4, 1e-4, seed=5)
+        b = simulate_pair_availability(1e4, 1e4, 1e-4, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            simulate_pair_availability(1.0, 1.0, 1.0, horizon_requests=0)
+        with pytest.raises(HardwareError):
+            simulate_pair_availability(1.0, 1.0, 1.0, buffer_size=0)
+        with pytest.raises(HardwareError):
+            simulate_pair_availability(-1.0, 1.0, 1.0)
+
+
+class TestEffectiveWin:
+    def test_full_availability(self):
+        assert effective_win_probability(1.0, 0.85) == pytest.approx(0.85)
+
+    def test_zero_availability_is_classical(self):
+        assert effective_win_probability(0.0, 0.85) == pytest.approx(0.75)
+
+    def test_linear_blend(self):
+        assert effective_win_probability(0.5, 0.85) == pytest.approx(0.80)
+
+    def test_validation(self):
+        with pytest.raises(HardwareError):
+            effective_win_probability(1.5, 0.85)

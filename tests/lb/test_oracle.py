@@ -1,0 +1,68 @@
+"""Tests for the omniscient coordination bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lb import (
+    CHSHPairedAssignment,
+    OmniscientAssignment,
+    RandomAssignment,
+    run_timestep_simulation,
+)
+from repro.net.packet import TaskType
+
+C = TaskType.COLOCATE
+E = TaskType.EXCLUSIVE
+
+
+class TestOmniscient:
+    def test_pairs_of_cs_share_servers(self, rng):
+        policy = OmniscientAssignment(4, 8)
+        choices = policy.assign([C, C, C, C], rng)
+        # Two pairs, each pair on one server, pairs on different servers.
+        assert choices[0] == choices[1]
+        assert choices[2] == choices[3]
+        assert choices[0] != choices[2]
+
+    def test_es_spread_out(self, rng):
+        policy = OmniscientAssignment(4, 8)
+        choices = policy.assign([E, E, E, E], rng)
+        assert len(set(choices)) == 4
+
+    def test_mixed_never_wastes_slots(self, rng):
+        policy = OmniscientAssignment(3, 4)
+        choices = policy.assign([C, E, C], rng)
+        # The two C's batch together; E gets its own server.
+        assert choices[0] == choices[2]
+        assert choices[1] != choices[0]
+
+    def test_uses_queue_observations(self, rng):
+        policy = OmniscientAssignment(1, 3)
+        policy.observe_queues([5, 0, 5])
+        choices = policy.assign([E], rng)
+        assert choices == [1]
+
+    def test_observation_size_checked(self):
+        policy = OmniscientAssignment(2, 3)
+        with pytest.raises(ConfigurationError):
+            policy.observe_queues([1, 2])
+
+    def test_dominates_random_and_quantum(self):
+        n, m = 60, 48
+        kwargs = dict(timesteps=500, seed=7)
+        oracle = run_timestep_simulation(OmniscientAssignment(n, m), **kwargs)
+        random_result = run_timestep_simulation(RandomAssignment(n, m), **kwargs)
+        quantum = run_timestep_simulation(CHSHPairedAssignment(n, m), **kwargs)
+        assert oracle.mean_queue_length <= quantum.mean_queue_length
+        assert oracle.mean_queue_length <= random_result.mean_queue_length
+
+    def test_stable_below_coordinated_capacity(self):
+        # With perfect batching, capacity is ~4/3 load; 1.2 stays bounded.
+        n, m = 96, 80
+        result = run_timestep_simulation(
+            OmniscientAssignment(n, m), timesteps=600, seed=9
+        )
+        assert result.mean_queue_length < 2.0

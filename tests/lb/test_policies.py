@@ -1,0 +1,168 @@
+"""Tests for assignment policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StrategyError
+from repro.games import CHSH_QUANTUM_VALUE
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    DedicatedPoolAssignment,
+    PowerOfTwoAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+)
+from repro.net.packet import TaskType
+from repro.quantum import werner_state
+
+C = TaskType.COLOCATE
+E = TaskType.EXCLUSIVE
+
+
+class TestBaseValidation:
+    def test_rejects_zero_balancers(self):
+        with pytest.raises(ConfigurationError):
+            RandomAssignment(0, 5)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ConfigurationError):
+            RandomAssignment(5, 0)
+
+    def test_task_count_checked(self, rng):
+        policy = RandomAssignment(4, 2)
+        with pytest.raises(ConfigurationError):
+            policy.assign([C, E], rng)
+
+
+class TestRandomAssignment:
+    def test_choices_in_range(self, rng):
+        policy = RandomAssignment(50, 7)
+        choices = policy.assign([C] * 50, rng)
+        assert all(0 <= c < 7 for c in choices)
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        policy = RandomAssignment(10000, 4)
+        choices = policy.assign([C] * 10000, rng)
+        counts = np.bincount(choices, minlength=4)
+        assert counts.min() > 2200
+
+
+class TestRoundRobin:
+    def test_each_balancer_cycles(self, rng):
+        policy = RoundRobinAssignment(3, 4)
+        first = policy.assign([C, C, C], rng)
+        second = policy.assign([C, C, C], rng)
+        assert [(f + 1) % 4 for f in first] == second
+
+    def test_random_initial_offsets(self, rng):
+        policy = RoundRobinAssignment(100, 10)
+        first = policy.assign([C] * 100, rng)
+        assert len(set(first)) > 1
+
+
+class TestPowerOfTwo:
+    def test_prefers_shorter_queue(self, rng):
+        policy = PowerOfTwoAssignment(200, 2)
+        policy.observe_queues([100, 0])
+        choices = policy.assign([C] * 200, rng)
+        # Server 1 is always at least as short, so every probe pair that
+        # includes it picks it; only (0, 0) pairs pick 0.
+        assert np.mean(choices) > 0.6
+
+    def test_observation_size_checked(self):
+        policy = PowerOfTwoAssignment(5, 3)
+        with pytest.raises(ConfigurationError):
+            policy.observe_queues([1, 2])
+
+
+class TestDedicatedPool:
+    def test_c_tasks_in_pool(self, rng):
+        policy = DedicatedPoolAssignment(100, 10, pool_fraction=0.5)
+        choices = policy.assign([C] * 100, rng)
+        assert all(c < policy.pool_size for c in choices)
+
+    def test_e_tasks_outside_pool(self, rng):
+        policy = DedicatedPoolAssignment(100, 10, pool_fraction=0.5)
+        choices = policy.assign([E] * 100, rng)
+        assert all(c >= policy.pool_size for c in choices)
+
+    def test_pool_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            DedicatedPoolAssignment(10, 10, pool_fraction=1.0)
+
+    def test_pool_size_bounded(self):
+        policy = DedicatedPoolAssignment(10, 2, pool_fraction=0.9)
+        assert 1 <= policy.pool_size <= 1
+
+
+class TestPairedPolicies:
+    def test_needs_two_servers(self):
+        with pytest.raises(ConfigurationError):
+            CHSHPairedAssignment(10, 1)
+
+    def test_choices_in_range(self, rng):
+        policy = CHSHPairedAssignment(10, 5)
+        choices = policy.assign([C, E] * 5, rng)
+        assert all(0 <= c < 5 for c in choices)
+
+    def test_odd_balancer_count_handled(self, rng):
+        policy = CHSHPairedAssignment(7, 4)
+        choices = policy.assign([C] * 7, rng)
+        assert len(choices) == 7
+
+    def test_quantum_colocation_rate_matches_chsh_value(self):
+        """Pairs win the colocation game at the Tsirelson rate: both-C
+        lands on the same server ~85% of rounds, mixed pairs separate
+        ~85% of rounds."""
+        rng = np.random.default_rng(5)
+        policy = CHSHPairedAssignment(2, 10)
+        same_cc = 0
+        diff_ce = 0
+        rounds = 4000
+        for _ in range(rounds):
+            a, b = policy.assign([C, C], rng)
+            same_cc += a == b
+            a, b = policy.assign([C, E], rng)
+            diff_ce += a != b
+        assert same_cc / rounds == pytest.approx(
+            CHSH_QUANTUM_VALUE, abs=0.03
+        )
+        assert diff_ce / rounds == pytest.approx(
+            CHSH_QUANTUM_VALUE, abs=0.03
+        )
+
+    def test_classical_pairs_split_unless_both_c(self):
+        """Optimal classical pair strategy: outputs always differ, so
+        both-C colocation never happens but all other pairs separate."""
+        rng = np.random.default_rng(6)
+        policy = ClassicalPairedAssignment(2, 10)
+        for _ in range(200):
+            a, b = policy.assign([C, E], rng)
+            assert a != b
+            a, b = policy.assign([C, C], rng)
+            assert a != b  # the classical strategy loses this case
+
+    def test_noisy_state_degrades_colocation(self):
+        rng = np.random.default_rng(7)
+        noisy = CHSHPairedAssignment(2, 10, state=werner_state(0.6))
+        same_cc = sum(
+            a == b
+            for a, b in (noisy.assign([C, C], rng) for _ in range(3000))
+        )
+        rate = same_cc / 3000
+        assert 0.5 < rate < CHSH_QUANTUM_VALUE - 0.02
+
+    def test_marginal_uniform_over_server_pairs(self):
+        """Each balancer's choice alone is uniform over servers — no
+        information leaks about the partner's task (no-signaling)."""
+        rng = np.random.default_rng(8)
+        policy = CHSHPairedAssignment(2, 4)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            a, _ = policy.assign([C, E], rng)
+            counts[a] += 1
+        assert (counts / counts.sum() == pytest.approx([0.25] * 4, abs=0.03))

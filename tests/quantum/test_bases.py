@@ -1,0 +1,132 @@
+"""Tests for measurement bases."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, MeasurementError
+from repro.quantum import gates
+from repro.quantum.bases import (
+    MeasurementBasis,
+    bloch_basis,
+    chsh_alice_basis,
+    chsh_bob_basis,
+    computational_basis,
+    hadamard_basis,
+    observable_for_basis,
+    rotation_basis,
+)
+
+
+class TestMeasurementBasis:
+    def test_orthonormality_enforced(self):
+        with pytest.raises(MeasurementError):
+            MeasurementBasis(
+                (np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+            )
+
+    def test_wrong_vector_count(self):
+        with pytest.raises(MeasurementError):
+            MeasurementBasis((np.array([1.0, 0.0]),))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementBasis(())
+
+    def test_non_power_of_two_dim(self):
+        vecs = tuple(np.eye(3)[:, k] for k in range(3))
+        with pytest.raises(DimensionError):
+            MeasurementBasis(vecs)
+
+    def test_properties(self):
+        basis = computational_basis(2)
+        assert basis.dim == 4
+        assert basis.num_qubits == 2
+        assert basis.num_outcomes == 4
+
+    def test_projectors_sum_to_identity(self):
+        basis = rotation_basis(0.77)
+        total = sum(basis.projectors())
+        assert np.allclose(total, np.eye(2))
+
+    def test_unitary_to_computational(self):
+        basis = hadamard_basis()
+        u = basis.unitary_to_computational()
+        # U|+> = |0>
+        plus = np.array([1, 1]) / math.sqrt(2)
+        assert np.allclose(u @ plus, [1, 0])
+
+    def test_tensor_product_outcome_order(self):
+        basis = computational_basis(1).tensor(hadamard_basis())
+        assert basis.num_outcomes == 4
+        # Outcome 0 = |0> (x) |+>.
+        expected = np.kron([1, 0], np.array([1, 1]) / math.sqrt(2))
+        assert np.allclose(basis.vectors[0], expected)
+
+    def test_repr(self):
+        assert "Z^1" in repr(computational_basis(1))
+
+
+class TestBasisFamilies:
+    def test_rotation_basis_zero_is_computational(self):
+        basis = rotation_basis(0.0)
+        assert np.allclose(basis.vectors[0], [1, 0])
+        assert np.allclose(basis.vectors[1], [0, 1])
+
+    def test_rotation_basis_angle(self):
+        theta = 0.6
+        basis = rotation_basis(theta)
+        assert basis.vectors[0][0] == pytest.approx(math.cos(theta))
+        assert basis.vectors[0][1] == pytest.approx(math.sin(theta))
+
+    def test_hadamard_basis_vectors(self):
+        basis = hadamard_basis()
+        assert np.allclose(basis.vectors[0], np.array([1, 1]) / math.sqrt(2))
+
+    def test_bloch_basis_poles(self):
+        basis = bloch_basis(0.0, 0.0)
+        assert np.allclose(basis.vectors[0], [1, 0])
+
+    def test_bloch_basis_orthonormal(self):
+        basis = bloch_basis(1.1, 2.2)
+        assert abs(np.vdot(basis.vectors[0], basis.vectors[1])) < 1e-12
+
+    def test_chsh_angles_match_paper(self):
+        assert np.allclose(chsh_alice_basis(0).vectors[0], [1, 0])
+        a1 = chsh_alice_basis(1)
+        assert a1.vectors[0][0] == pytest.approx(math.cos(math.pi / 4))
+        b0 = chsh_bob_basis(0)
+        assert b0.vectors[0][0] == pytest.approx(math.cos(math.pi / 8))
+        b1 = chsh_bob_basis(1)
+        assert b1.vectors[0][1] == pytest.approx(math.sin(-math.pi / 8))
+
+    def test_chsh_inputs_validated(self):
+        with pytest.raises(MeasurementError):
+            chsh_alice_basis(2)
+        with pytest.raises(MeasurementError):
+            chsh_bob_basis(-1)
+
+
+class TestObservableForBasis:
+    def test_computational_gives_z(self):
+        obs = observable_for_basis(computational_basis(1))
+        assert np.allclose(obs, gates.Z)
+
+    def test_hadamard_gives_x(self):
+        obs = observable_for_basis(hadamard_basis())
+        assert np.allclose(obs, gates.X)
+
+    def test_custom_eigenvalues(self):
+        obs = observable_for_basis(computational_basis(1), eigenvalues=[2.0, 5.0])
+        assert np.allclose(obs, np.diag([2.0, 5.0]))
+
+    def test_eigenvalue_count_checked(self):
+        with pytest.raises(DimensionError):
+            observable_for_basis(computational_basis(1), eigenvalues=[1.0])
+
+    def test_multi_outcome_alternating_signs(self):
+        obs = observable_for_basis(computational_basis(2))
+        assert np.allclose(np.diag(obs), [1, -1, 1, -1])

@@ -1,0 +1,133 @@
+"""Tests for Bloch-sphere utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.quantum import DensityMatrix, StateVector
+from repro.quantum.bases import computational_basis, hadamard_basis, rotation_basis
+from repro.quantum.bloch import (
+    basis_direction,
+    basis_from_direction,
+    bloch_to_state,
+    purity_from_bloch,
+    state_to_bloch,
+)
+from repro.quantum.measurement import outcome_probabilities
+from repro.quantum.random_states import random_density_matrix
+
+
+class TestStateToBloch:
+    def test_computational_states(self):
+        assert state_to_bloch(StateVector.from_bits("0")) == pytest.approx(
+            [0, 0, 1]
+        )
+        assert state_to_bloch(StateVector.from_bits("1")) == pytest.approx(
+            [0, 0, -1]
+        )
+
+    def test_plus_state(self):
+        plus = StateVector.from_amplitudes([1, 1])
+        assert state_to_bloch(plus) == pytest.approx([1, 0, 0])
+
+    def test_circular_state(self):
+        right = StateVector.from_amplitudes([1, 1j])
+        assert state_to_bloch(right) == pytest.approx([0, 1, 0])
+
+    def test_maximally_mixed_at_origin(self):
+        assert state_to_bloch(DensityMatrix.maximally_mixed(1)) == (
+            pytest.approx([0, 0, 0])
+        )
+
+    def test_rejects_two_qubits(self):
+        with pytest.raises(DimensionError):
+            state_to_bloch(StateVector.zeros(2))
+
+
+class TestBlochToState:
+    def test_round_trip_random_states(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            rho = random_density_matrix(1, rng)
+            vec = state_to_bloch(rho)
+            back = bloch_to_state(vec)
+            assert np.allclose(back.matrix, rho.matrix, atol=1e-10)
+
+    def test_pure_on_surface(self):
+        rho = bloch_to_state([0, 0, 1])
+        assert rho.is_pure()
+
+    def test_unphysical_rejected(self):
+        with pytest.raises(DimensionError):
+            bloch_to_state([1.0, 1.0, 1.0])
+
+    def test_shape_checked(self):
+        with pytest.raises(DimensionError):
+            bloch_to_state([1.0, 0.0])
+
+
+class TestBasisDirections:
+    def test_computational_points_up(self):
+        assert basis_direction(computational_basis(1)) == pytest.approx(
+            [0, 0, 1]
+        )
+
+    def test_hadamard_points_x(self):
+        assert basis_direction(hadamard_basis()) == pytest.approx([1, 0, 0])
+
+    def test_rotation_basis_in_xz_plane(self):
+        theta = 0.7
+        direction = basis_direction(rotation_basis(theta))
+        assert direction[1] == pytest.approx(0.0, abs=1e-12)
+        assert direction[2] == pytest.approx(math.cos(2 * theta))
+        assert direction[0] == pytest.approx(math.sin(2 * theta))
+
+    def test_round_trip_direction(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            basis = basis_from_direction(direction)
+            recovered = basis_direction(basis)
+            assert recovered == pytest.approx(direction, abs=1e-9)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(DimensionError):
+            basis_from_direction([0.0, 0.0, 0.0])
+
+    def test_multi_outcome_rejected(self):
+        with pytest.raises(DimensionError):
+            basis_direction(computational_basis(2))
+
+
+class TestBornRuleGeometry:
+    def test_probability_formula(self):
+        """P(0) = (1 + r.n)/2 — the geometric Born rule."""
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            rho = random_density_matrix(1, rng)
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            basis = basis_from_direction(direction)
+            probs = outcome_probabilities(rho, basis)
+            r = state_to_bloch(rho)
+            assert probs[0] == pytest.approx(
+                (1 + float(r @ direction)) / 2, abs=1e-9
+            )
+
+    def test_purity_formula(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            rho = random_density_matrix(1, rng)
+            vec = state_to_bloch(rho)
+            assert purity_from_bloch(vec) == pytest.approx(
+                rho.purity(), abs=1e-10
+            )
+
+    def test_purity_shape_checked(self):
+        with pytest.raises(DimensionError):
+            purity_from_bloch([1.0])

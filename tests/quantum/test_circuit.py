@@ -1,0 +1,136 @@
+"""Tests for the circuit layer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, QuantumError
+from repro.quantum import bell_pair, ghz_state
+from repro.quantum.circuit import Circuit, Operation
+from repro.quantum import gates
+from repro.quantum.linalg import is_unitary
+from repro.quantum.state import StateVector
+
+
+class TestOperation:
+    def test_validates_unitarity(self):
+        from repro.errors import NotUnitaryError
+
+        with pytest.raises(NotUnitaryError):
+            Operation("bad", np.ones((2, 2)), (0,))
+
+    def test_validates_arity(self):
+        with pytest.raises(DimensionError):
+            Operation("bad", gates.H, (0, 1))
+
+    def test_validates_duplicates(self):
+        with pytest.raises(DimensionError):
+            Operation("bad", gates.cnot(), (0, 0))
+
+
+class TestCircuitConstruction:
+    def test_needs_positive_qubits(self):
+        with pytest.raises(DimensionError):
+            Circuit(0)
+
+    def test_fluent_chaining(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).x(1)
+        assert len(circuit) == 3
+        assert circuit.operations[0].name == "h"
+
+    def test_target_range_checked(self):
+        with pytest.raises(DimensionError):
+            Circuit(1).h(1)
+
+    def test_repr(self):
+        assert "gates=2" in repr(Circuit(2).h(0).h(1))
+
+
+class TestExecution:
+    def test_bell_circuit(self):
+        state = Circuit.bell().run()
+        assert state == bell_pair()
+
+    def test_ghz_circuit(self):
+        for n in (2, 3, 4):
+            assert Circuit.ghz(n).run() == ghz_state(n)
+
+    def test_x_flips(self):
+        state = Circuit(1).x(0).run()
+        assert state == StateVector.from_bits("1")
+
+    def test_rotation_direction(self):
+        theta = 0.8
+        state = Circuit(1).ry(0, 2 * theta).run()
+        assert state.vector[0] == pytest.approx(math.cos(theta))
+        assert state.vector[1] == pytest.approx(math.sin(theta))
+
+    def test_run_from_initial_state(self):
+        state = Circuit(1).x(0).run(StateVector.from_bits("1"))
+        assert state == StateVector.from_bits("0")
+
+    def test_initial_state_size_checked(self):
+        with pytest.raises(QuantumError):
+            Circuit(2).run(StateVector.zeros(1))
+
+    def test_swap(self):
+        state = Circuit(2).x(0).swap(0, 1).run()
+        assert state == StateVector.from_bits("01")
+
+    def test_cz_phase(self):
+        state = Circuit(2).h(0).h(1).cz(0, 1).run()
+        assert state.amplitude("11") == pytest.approx(-0.5)
+
+    def test_s_t_phases(self):
+        state = Circuit(1).h(0).s(0).t(0).run()
+        phase = state.vector[1] / abs(state.vector[1])
+        assert phase == pytest.approx(np.exp(1j * 3 * math.pi / 4))
+
+    def test_y_gate(self):
+        state = Circuit(1).y(0).run()
+        assert abs(state.vector[1]) == pytest.approx(1.0)
+
+    def test_rx_rz_compose(self):
+        state = Circuit(1).rx(0, 0.4).rz(0, 1.1).run()
+        manual = StateVector.zeros(1).apply(gates.rx(0.4)).apply(gates.rz(1.1))
+        assert state == manual
+
+
+class TestUnitaryAndInverse:
+    def test_unitary_matches_run(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(1, 0.3)
+        u = circuit.unitary()
+        assert is_unitary(u)
+        via_run = circuit.run().vector
+        assert np.allclose(u[:, 0], via_run)
+
+    def test_inverse_undoes(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).ry(1, 0.7)
+        state = circuit.run()
+        undone = circuit.inverse().run(state)
+        assert undone == StateVector.zeros(2)
+
+    def test_inverse_unitary_is_dagger(self):
+        circuit = Circuit(2).h(0).t(0).cnot(0, 1)
+        assert np.allclose(
+            circuit.inverse().unitary(), circuit.unitary().conj().T
+        )
+
+
+class TestDepth:
+    def test_empty_depth_zero(self):
+        assert Circuit(3).depth() == 0
+
+    def test_parallel_gates_share_layer(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        assert circuit.depth() == 1
+
+    def test_sequential_gates_stack(self):
+        circuit = Circuit(1).h(0).x(0).z(0)
+        assert circuit.depth() == 3
+
+    def test_entangling_chain(self):
+        assert Circuit.ghz(4).depth() == 4

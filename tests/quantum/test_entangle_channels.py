@@ -1,0 +1,210 @@
+"""Tests for entangled state constructors and noise channels."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.quantum import gates
+from repro.quantum.channels import (
+    Channel,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    compose,
+    dephasing,
+    depolarizing,
+    erasure_as_depolarizing,
+    identity_channel,
+    phase_flip,
+)
+from repro.quantum.entangle import (
+    bell_pair,
+    bell_state,
+    ghz_state,
+    isotropic_state,
+    w_state,
+    werner_state,
+)
+from repro.quantum.state import DensityMatrix, StateVector
+
+
+class TestBellStates:
+    def test_phi_plus_amplitudes(self):
+        sv = bell_pair()
+        assert sv.amplitude("00") == pytest.approx(1 / math.sqrt(2))
+        assert sv.amplitude("11") == pytest.approx(1 / math.sqrt(2))
+        assert sv.amplitude("01") == 0.0
+
+    @pytest.mark.parametrize("name", ["phi+", "phi-", "psi+", "psi-"])
+    def test_all_bell_states_normalized(self, name):
+        sv = bell_state(name)
+        assert np.isclose(np.linalg.norm(sv.vector), 1.0)
+
+    def test_bell_states_mutually_orthogonal(self):
+        names = ["phi+", "phi-", "psi+", "psi-"]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert abs(bell_state(a).overlap(bell_state(b))) < 1e-12
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            bell_state("sigma+")
+
+    def test_case_insensitive(self):
+        assert bell_state("PHI+") == bell_state("phi+")
+
+
+class TestGHZAndW:
+    def test_ghz_amplitudes(self):
+        sv = ghz_state(3)
+        assert sv.amplitude("000") == pytest.approx(1 / math.sqrt(2))
+        assert sv.amplitude("111") == pytest.approx(1 / math.sqrt(2))
+
+    def test_ghz_equals_bell_for_two(self):
+        assert ghz_state(2) == bell_pair()
+
+    def test_ghz_minimum_size(self):
+        with pytest.raises(DimensionError):
+            ghz_state(1)
+
+    def test_w_state_one_hot_support(self):
+        sv = w_state(3)
+        probs = sv.probabilities()
+        hot = [0b001, 0b010, 0b100]
+        assert sum(probs[i] for i in hot) == pytest.approx(1.0)
+
+    def test_w_state_minimum_size(self):
+        with pytest.raises(DimensionError):
+            w_state(1)
+
+    def test_ghz_partial_trace_loses_coherence(self):
+        reduced = ghz_state(3).to_density_matrix().partial_trace([0])
+        assert np.allclose(reduced.matrix, np.eye(2) / 2)
+
+
+class TestWernerIsotropic:
+    def test_perfect_fidelity_is_bell(self):
+        rho = werner_state(1.0)
+        assert rho.fidelity(bell_pair()) == pytest.approx(1.0)
+
+    def test_quarter_fidelity_is_maximally_mixed(self):
+        rho = werner_state(0.25)
+        assert np.allclose(rho.matrix, np.eye(4) / 4)
+
+    def test_fidelity_parameter_is_overlap(self):
+        for f in (0.3, 0.6, 0.9):
+            rho = werner_state(f)
+            assert rho.fidelity(bell_pair()) == pytest.approx(f)
+
+    def test_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            werner_state(1.5)
+        with pytest.raises(ConfigurationError):
+            isotropic_state(-0.1)
+
+    def test_isotropic_visibility_one(self):
+        assert isotropic_state(1.0).fidelity(bell_pair()) == pytest.approx(1.0)
+
+    def test_isotropic_visibility_zero(self):
+        assert np.allclose(isotropic_state(0.0).matrix, np.eye(4) / 4)
+
+
+class TestChannels:
+    def test_identity_channel_noop(self):
+        rho = bell_pair().to_density_matrix()
+        assert identity_channel(2).apply(rho) == rho
+
+    def test_depolarizing_full(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        out = depolarizing(1.0).apply(rho)
+        assert np.allclose(out.matrix, np.eye(2) / 2)
+
+    def test_depolarizing_zero(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        assert depolarizing(0.0).apply(rho) == rho
+
+    def test_dephasing_kills_coherence(self):
+        plus = StateVector.from_amplitudes([1, 1]).to_density_matrix()
+        out = dephasing(1.0).apply(plus)
+        assert abs(out.matrix[0, 1]) < 1e-12
+        assert out.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_bit_flip_full(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        out = bit_flip(1.0).apply(rho)
+        assert out.probabilities() == pytest.approx([0.0, 1.0])
+
+    def test_phase_flip_on_plus(self):
+        plus = StateVector.from_amplitudes([1, 1]).to_density_matrix()
+        minus = StateVector.from_amplitudes([1, -1]).to_density_matrix()
+        assert phase_flip(1.0).apply(plus) == minus
+
+    def test_bit_phase_flip_is_y(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        out = bit_phase_flip(1.0).apply(rho)
+        assert out.probabilities() == pytest.approx([0.0, 1.0])
+
+    def test_amplitude_damping_decays_to_ground(self):
+        rho = StateVector.from_bits("1").to_density_matrix()
+        out = amplitude_damping(1.0).apply(rho)
+        assert out.probabilities() == pytest.approx([1.0, 0.0])
+
+    def test_amplitude_damping_partial(self):
+        rho = StateVector.from_bits("1").to_density_matrix()
+        out = amplitude_damping(0.3).apply(rho)
+        assert out.probabilities() == pytest.approx([0.3, 0.7])
+
+    def test_channel_on_target_of_larger_state(self):
+        rho = bell_pair().to_density_matrix()
+        out = depolarizing(1.0).apply(rho, targets=[0])
+        # Depolarizing one half of a Bell pair leaves the product of
+        # maximally mixed states.
+        assert np.allclose(out.matrix, np.eye(4) / 4)
+
+    def test_dim_mismatch_without_targets(self):
+        rho = bell_pair().to_density_matrix()
+        with pytest.raises(DimensionError):
+            depolarizing(0.5).apply(rho)
+
+    def test_trace_preservation_validated(self):
+        with pytest.raises(ConfigurationError):
+            Channel((gates.X * 0.5,))
+
+    def test_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            depolarizing(-0.1)
+        with pytest.raises(ConfigurationError):
+            dephasing(1.01)
+
+    def test_compose_order(self):
+        # X then Z equals applying ZX.
+        rho = StateVector.from_bits("0").to_density_matrix()
+        ch = compose([bit_flip(1.0), phase_flip(1.0)])
+        manual = rho.apply(gates.Z @ gates.X)
+        assert ch.apply(rho) == manual
+
+    def test_compose_empty(self):
+        with pytest.raises(ConfigurationError):
+            compose([])
+
+    def test_then_dim_mismatch(self):
+        with pytest.raises(DimensionError):
+            identity_channel(1).then(identity_channel(2))
+
+    def test_werner_from_depolarized_bell(self):
+        """Depolarizing one share of a Bell pair yields a Werner state."""
+        p = 0.2
+        noisy = depolarizing(p).apply(bell_pair().to_density_matrix(), targets=[1])
+        fidelity = noisy.fidelity(bell_pair())
+        expected = werner_state(1 - 3 * p / 4).fidelity(bell_pair())
+        assert fidelity == pytest.approx(expected)
+
+    def test_erasure_alias(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        assert erasure_as_depolarizing(1.0).apply(rho) == (
+            depolarizing(1.0).apply(rho)
+        )

@@ -1,0 +1,130 @@
+"""Tests for repro.quantum.gates."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.quantum import gates
+from repro.quantum.linalg import is_unitary
+
+
+ALL_FIXED = {
+    "I2": gates.I2,
+    "X": gates.X,
+    "Y": gates.Y,
+    "Z": gates.Z,
+    "H": gates.H,
+    "S": gates.S,
+    "T": gates.T,
+}
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", sorted(ALL_FIXED))
+    def test_unitary(self, name):
+        assert is_unitary(ALL_FIXED[name])
+
+    def test_pauli_algebra(self):
+        assert np.allclose(gates.X @ gates.X, gates.I2)
+        assert np.allclose(gates.X @ gates.Y, 1j * gates.Z)
+        assert np.allclose(gates.Y @ gates.Z, 1j * gates.X)
+        assert np.allclose(gates.Z @ gates.X, 1j * gates.Y)
+
+    def test_hadamard_conjugation(self):
+        assert np.allclose(gates.H @ gates.X @ gates.H, gates.Z)
+
+    def test_s_squared_is_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+
+class TestRotations:
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 5.0])
+    def test_rotations_unitary(self, theta):
+        for rot in (gates.rx, gates.ry, gates.rz):
+            assert is_unitary(rot(theta))
+
+    def test_ry_builds_paper_direction(self):
+        # ry(2 theta)|0> = cos(theta)|0> + sin(theta)|1>
+        theta = 0.7
+        vec = gates.ry(2 * theta) @ np.array([1, 0], dtype=complex)
+        assert vec[0] == pytest.approx(math.cos(theta))
+        assert vec[1] == pytest.approx(math.sin(theta))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        assert np.allclose(gates.rx(math.pi), -1j * gates.X)
+
+    def test_rz_pi_is_z_up_to_phase(self):
+        assert np.allclose(gates.rz(math.pi), -1j * gates.Z)
+
+    def test_phase_gate(self):
+        assert np.allclose(gates.phase(math.pi), gates.Z)
+
+    def test_u2_covers_hadamard(self):
+        u = gates.u2(math.pi / 2, 0.0, math.pi)
+        assert np.allclose(u, gates.H)
+
+    def test_rotation_composition(self):
+        a, b = 0.4, 1.1
+        assert np.allclose(gates.ry(a) @ gates.ry(b), gates.ry(a + b))
+
+
+class TestTwoQubitGates:
+    def test_cnot_action(self):
+        cnot = gates.cnot()
+        assert np.allclose(cnot @ cnot, np.eye(4))
+        vec = np.zeros(4)
+        vec[0b10] = 1.0  # control=1, target=0
+        out = cnot @ vec
+        assert out[0b11] == 1.0
+
+    def test_cz_symmetric(self):
+        cz = gates.cz()
+        swap = gates.swap()
+        assert np.allclose(swap @ cz @ swap, cz)
+
+    def test_swap_action(self):
+        vec = np.zeros(4)
+        vec[0b01] = 1.0
+        out = gates.swap() @ vec
+        assert out[0b10] == 1.0
+
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(gates.controlled(gates.X), gates.cnot())
+
+    def test_controlled_of_two_qubit_gate(self):
+        ccx = gates.controlled(gates.cnot())
+        assert ccx.shape == (8, 8)
+        assert is_unitary(ccx)
+        vec = np.zeros(8)
+        vec[0b110] = 1.0
+        out = ccx @ vec
+        assert out[0b111] == 1.0
+
+
+class TestPauliStrings:
+    def test_single_letters(self):
+        assert np.allclose(gates.pauli("X"), gates.X)
+        assert np.allclose(gates.pauli("I"), gates.I2)
+
+    def test_two_letter_string(self):
+        assert np.allclose(gates.pauli("XZ"), np.kron(gates.X, gates.Z))
+
+    def test_rejects_unknown_letter(self):
+        with pytest.raises(DimensionError):
+            gates.pauli("XQ")
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            gates.pauli("")
+
+    def test_pauli_strings_unitary_and_hermitian(self):
+        p = gates.pauli("XYZ")
+        assert is_unitary(p)
+        assert np.allclose(p, p.conj().T)

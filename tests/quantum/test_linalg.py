@@ -1,0 +1,243 @@
+"""Tests for repro.quantum.linalg."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DimensionError,
+    NotHermitianError,
+    NotNormalizedError,
+    NotUnitaryError,
+)
+from repro.quantum import gates
+from repro.quantum.linalg import (
+    basis_ket,
+    bit_of_index,
+    dagger,
+    dim_of_num_qubits,
+    expand_operator,
+    fidelity_vectors,
+    inner,
+    is_hermitian,
+    is_power_of_two,
+    is_unitary,
+    ket,
+    ket_from_amplitudes,
+    kron_all,
+    num_qubits_of_dim,
+    outer,
+    permute_qubits_vector,
+    projector,
+    require_hermitian,
+    require_normalized,
+    require_unitary,
+    require_vector,
+)
+
+
+class TestPowersOfTwo:
+    def test_accepts_powers(self):
+        for n in (1, 2, 4, 8, 1024):
+            assert is_power_of_two(n)
+
+    def test_rejects_non_powers(self):
+        for n in (0, -1, 3, 6, 12, 1023):
+            assert not is_power_of_two(n)
+
+    def test_num_qubits_roundtrip(self):
+        for n in range(8):
+            assert num_qubits_of_dim(dim_of_num_qubits(n)) == n
+
+    def test_num_qubits_rejects_bad_dim(self):
+        with pytest.raises(DimensionError):
+            num_qubits_of_dim(6)
+
+    def test_negative_qubit_count(self):
+        with pytest.raises(DimensionError):
+            dim_of_num_qubits(-1)
+
+
+class TestKets:
+    def test_ket_is_copy(self):
+        src = np.array([1.0, 0.0])
+        vec = ket(src)
+        src[0] = 5.0
+        assert vec[0] == 1.0
+
+    def test_basis_ket(self):
+        vec = basis_ket(2, 4)
+        assert vec[2] == 1.0 and np.count_nonzero(vec) == 1
+
+    def test_basis_ket_range(self):
+        with pytest.raises(DimensionError):
+            basis_ket(4, 4)
+
+    def test_ket_from_amplitudes_normalizes(self):
+        vec = ket_from_amplitudes([3.0, 4.0])
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+        assert np.isclose(vec[0], 0.6)
+
+    def test_ket_from_zero_vector_rejected(self):
+        with pytest.raises(NotNormalizedError):
+            ket_from_amplitudes([0.0, 0.0])
+
+    def test_require_vector_rejects_matrix(self):
+        with pytest.raises(DimensionError):
+            require_vector(np.eye(2))
+
+    def test_require_vector_rejects_dim_three(self):
+        with pytest.raises(DimensionError):
+            require_vector(np.ones(3))
+
+
+class TestProducts:
+    def test_inner_orthogonal(self):
+        assert inner(basis_ket(0, 2), basis_ket(1, 2)) == 0
+
+    def test_inner_conjugates_left(self):
+        a = np.array([1j, 0])
+        b = np.array([1.0, 0])
+        assert inner(a, b) == pytest.approx(-1j)
+
+    def test_inner_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            inner(np.ones(2), np.ones(4))
+
+    def test_outer_projector(self):
+        plus = ket_from_amplitudes([1, 1])
+        proj = outer(plus)
+        assert np.allclose(proj, 0.5 * np.ones((2, 2)))
+
+    def test_kron_all_single(self):
+        out = kron_all([gates.X])
+        assert np.allclose(out, gates.X)
+
+    def test_kron_all_order(self):
+        v = kron_all([basis_ket(0, 2), basis_ket(1, 2)])
+        assert v[0b01] == 1.0
+
+    def test_kron_all_empty(self):
+        with pytest.raises(DimensionError):
+            kron_all([])
+
+    def test_projector_normalizes(self):
+        proj = projector(np.array([2.0, 0.0]))
+        assert np.allclose(proj, np.diag([1.0, 0.0]))
+
+    def test_projector_zero_rejected(self):
+        with pytest.raises(NotNormalizedError):
+            projector(np.zeros(2))
+
+
+class TestValidation:
+    def test_unitary_checks(self):
+        assert is_unitary(gates.H)
+        assert not is_unitary(np.ones((2, 2)))
+        require_unitary(gates.cnot())
+        with pytest.raises(NotUnitaryError):
+            require_unitary(np.ones((2, 2)))
+
+    def test_hermitian_checks(self):
+        assert is_hermitian(gates.Y)
+        assert not is_hermitian(1j * np.eye(2))
+        require_hermitian(gates.Z)
+        with pytest.raises(NotHermitianError):
+            require_hermitian(1j * np.eye(2))
+
+    def test_require_normalized(self):
+        require_normalized(basis_ket(0, 2))
+        with pytest.raises(NotNormalizedError):
+            require_normalized(2 * basis_ket(0, 2))
+
+    def test_dagger_involution(self):
+        mat = np.array([[1, 2j], [3, 4]], dtype=complex)
+        assert np.allclose(dagger(dagger(mat)), mat)
+
+
+class TestExpandOperator:
+    def test_single_qubit_on_first(self):
+        full = expand_operator(gates.X, [0], 2)
+        assert np.allclose(full, np.kron(gates.X, np.eye(2)))
+
+    def test_single_qubit_on_last(self):
+        full = expand_operator(gates.X, [1], 2)
+        assert np.allclose(full, np.kron(np.eye(2), gates.X))
+
+    def test_cnot_noncontiguous(self):
+        # CNOT with control qubit 2, target qubit 0, in a 3-qubit system:
+        # |001> -> |101>, |101> -> |001>, others with bit2=0 unchanged.
+        full = expand_operator(gates.cnot(), [2, 0], 3)
+        state = basis_ket(0b001, 8)
+        out = full @ state
+        assert out[0b101] == pytest.approx(1.0)
+
+    def test_identity_embedding(self):
+        full = expand_operator(np.eye(2, dtype=complex), [1], 3)
+        assert np.allclose(full, np.eye(8))
+
+    def test_unitarity_preserved(self):
+        full = expand_operator(gates.H, [1], 3)
+        assert is_unitary(full)
+
+    def test_rejects_duplicate_targets(self):
+        with pytest.raises(DimensionError):
+            expand_operator(gates.cnot(), [0, 0], 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DimensionError):
+            expand_operator(gates.X, [3], 2)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(DimensionError):
+            expand_operator(gates.X, [0, 1], 2)
+
+
+class TestPermute:
+    def test_identity_permutation(self):
+        vec = ket_from_amplitudes(np.arange(1, 9))
+        assert np.allclose(permute_qubits_vector(vec, [0, 1, 2]), vec)
+
+    def test_swap_two_qubits(self):
+        vec = basis_ket(0b01, 4)  # qubit0=0, qubit1=1
+        out = permute_qubits_vector(vec, [1, 0])
+        assert out[0b10] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(DimensionError):
+            permute_qubits_vector(basis_ket(0, 4), [0, 0])
+
+    def test_three_cycle(self):
+        vec = basis_ket(0b100, 8)
+        out = permute_qubits_vector(vec, [1, 2, 0])
+        # new qubit i = old qubit perm[i]: new bits = old[1], old[2], old[0]
+        assert out[0b001] == 1.0
+
+
+class TestMisc:
+    def test_bit_of_index_msb_first(self):
+        assert bit_of_index(0b100, 0, 3) == 1
+        assert bit_of_index(0b100, 2, 3) == 0
+
+    def test_fidelity_identical(self):
+        v = ket_from_amplitudes([1, 1j])
+        assert fidelity_vectors(v, v) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        assert fidelity_vectors(basis_ket(0, 2), basis_ket(1, 2)) == 0.0
+
+    def test_fidelity_plus_zero(self):
+        plus = ket_from_amplitudes([1, 1])
+        assert fidelity_vectors(plus, basis_ket(0, 2)) == pytest.approx(0.5)
+
+    def test_paper_deterministic_measurement_example(self):
+        # Paper §2: measuring (|0>+|1>)/sqrt2 in the {|+>, |->} basis
+        # always yields outcome 0.
+        psi = ket_from_amplitudes([1, 1])
+        plus = ket_from_amplitudes([1, 1])
+        minus = ket_from_amplitudes([1, -1])
+        assert abs(inner(plus, psi)) ** 2 == pytest.approx(1.0)
+        assert abs(inner(minus, psi)) ** 2 == pytest.approx(0.0)

@@ -1,0 +1,281 @@
+"""Tests for measurement semantics, including the paper's §2 examples."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError, QubitConsumedError
+from repro.quantum.bases import (
+    MeasurementBasis,
+    chsh_alice_basis,
+    chsh_bob_basis,
+    computational_basis,
+    hadamard_basis,
+    rotation_basis,
+)
+from repro.quantum.entangle import bell_pair, ghz_state
+from repro.quantum.measurement import (
+    EntangledRegister,
+    measure_density_matrix,
+    measure_qubit,
+    measure_state_vector,
+    outcome_probabilities,
+    povm_measure,
+)
+from repro.quantum.state import DensityMatrix, StateVector
+
+
+class TestOutcomeProbabilities:
+    def test_plus_state_computational(self):
+        plus = StateVector.from_amplitudes([1, 1])
+        probs = outcome_probabilities(plus, computational_basis(1))
+        assert probs == pytest.approx([0.5, 0.5])
+
+    def test_plus_state_hadamard_basis_deterministic(self):
+        # Paper §2: measuring (|0>+|1>)/sqrt2 in {|+>, |->} always yields 0.
+        plus = StateVector.from_amplitudes([1, 1])
+        probs = outcome_probabilities(plus, hadamard_basis())
+        assert probs == pytest.approx([1.0, 0.0], abs=1e-12)
+
+    def test_rotation_basis_general_angle(self):
+        theta = 0.3
+        probs = outcome_probabilities(
+            StateVector.from_bits("0"), rotation_basis(theta)
+        )
+        assert probs[0] == pytest.approx(math.cos(theta) ** 2)
+        assert probs[1] == pytest.approx(math.sin(theta) ** 2)
+
+    def test_single_qubit_of_entangled_state(self):
+        probs = outcome_probabilities(
+            bell_pair(), computational_basis(1), targets=[0]
+        )
+        assert probs == pytest.approx([0.5, 0.5])
+
+    def test_density_matrix_input(self):
+        rho = DensityMatrix.maximally_mixed(1)
+        probs = outcome_probabilities(rho, rotation_basis(1.234))
+        assert probs == pytest.approx([0.5, 0.5])
+
+
+class TestMeasureStateVector:
+    def test_deterministic_outcome(self, rng):
+        out = measure_state_vector(
+            StateVector.from_bits("1"), computational_basis(1), rng
+        )
+        assert out.outcome == 1
+        assert out.probability == pytest.approx(1.0)
+        assert out.post_state is None
+
+    def test_partial_measurement_collapses_partner(self, rng):
+        out = measure_state_vector(
+            bell_pair(), computational_basis(1), rng, targets=[0]
+        )
+        assert isinstance(out.post_state, StateVector)
+        partner = out.post_state
+        # Partner collapsed to |outcome>.
+        assert partner.probabilities()[out.outcome] == pytest.approx(1.0)
+
+    def test_statistics_match_born_rule(self):
+        theta = 1.0
+        basis = rotation_basis(theta)
+        counts = 0
+        trials = 4000
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            out = measure_state_vector(StateVector.from_bits("0"), basis, rng)
+            counts += out.outcome == 0
+        assert counts / trials == pytest.approx(math.cos(theta) ** 2, abs=0.03)
+
+    def test_wrong_target_count(self, rng):
+        with pytest.raises(MeasurementError):
+            measure_state_vector(
+                bell_pair(), computational_basis(2), rng, targets=[0]
+            )
+
+    def test_duplicate_targets(self, rng):
+        with pytest.raises(MeasurementError):
+            measure_state_vector(
+                bell_pair(), computational_basis(2), rng, targets=[0, 0]
+            )
+
+
+class TestMeasureDensityMatrix:
+    def test_full_measurement(self, rng):
+        rho = StateVector.from_bits("1").to_density_matrix()
+        out = measure_density_matrix(rho, computational_basis(1), rng)
+        assert out.outcome == 1
+        assert out.post_state is None
+
+    def test_partial_measurement_of_mixed_state(self, rng):
+        rho = DensityMatrix.maximally_mixed(2)
+        out = measure_density_matrix(rho, computational_basis(1), rng, targets=[0])
+        assert isinstance(out.post_state, DensityMatrix)
+        assert out.post_state.num_qubits == 1
+
+    def test_measure_qubit_wrapper(self, rng):
+        out = measure_qubit(bell_pair(), 1, computational_basis(1), rng)
+        assert out.outcome in (0, 1)
+
+    def test_measure_qubit_rejects_multiqubit_basis(self, rng):
+        with pytest.raises(MeasurementError):
+            measure_qubit(bell_pair(), 0, computational_basis(2), rng)
+
+
+class TestPaperCorrelationExample:
+    """Paper §2: Bell pair, first server computational, second in the
+    {1/sqrt3 |0> + sqrt2/sqrt3 |1>, sqrt2/sqrt3 |0> - 1/sqrt3 |1>} basis."""
+
+    PAPER_BASIS = MeasurementBasis(
+        (
+            np.array([1 / math.sqrt(3), math.sqrt(2 / 3)]),
+            np.array([math.sqrt(2 / 3), -1 / math.sqrt(3)]),
+        ),
+        label="paper-example",
+    )
+
+    def test_conditional_distribution_first_zero(self):
+        matches = []
+        for seed in range(3000):
+            rng = np.random.default_rng(seed)
+            reg = EntangledRegister(bell_pair())
+            a = reg.measure(0, computational_basis(1), rng)
+            b = reg.measure(1, self.PAPER_BASIS, rng)
+            if a == 0:
+                matches.append(b == 0)
+        # If the first measured 0, second measures 0 with probability 1/3.
+        assert np.mean(matches) == pytest.approx(1 / 3, abs=0.04)
+
+    def test_conditional_distribution_first_one(self):
+        matches = []
+        for seed in range(3000):
+            rng = np.random.default_rng(seed)
+            reg = EntangledRegister(bell_pair())
+            a = reg.measure(0, computational_basis(1), rng)
+            b = reg.measure(1, self.PAPER_BASIS, rng)
+            if a == 1:
+                matches.append(b == 0)
+        # Probabilities reverse: P(b=0 | a=1) = 2/3.
+        assert np.mean(matches) == pytest.approx(2 / 3, abs=0.04)
+
+    def test_marginals_stay_uniform(self):
+        outcomes = []
+        for seed in range(3000):
+            rng = np.random.default_rng(seed)
+            reg = EntangledRegister(bell_pair())
+            reg.measure(0, computational_basis(1), rng)
+            outcomes.append(reg.measure(1, self.PAPER_BASIS, rng))
+        assert np.mean(outcomes) == pytest.approx(0.5, abs=0.04)
+
+
+class TestEntangledRegister:
+    def test_same_basis_perfect_correlation(self):
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            reg = EntangledRegister(bell_pair())
+            a = reg.measure(0, computational_basis(1), rng)
+            b = reg.measure(1, computational_basis(1), rng)
+            assert a == b
+
+    def test_double_measure_raises(self, rng):
+        reg = EntangledRegister(bell_pair())
+        reg.measure(0, computational_basis(1), rng)
+        with pytest.raises(QubitConsumedError):
+            reg.measure(0, computational_basis(1), rng)
+
+    def test_qubit_handle_consumed(self, rng):
+        reg = EntangledRegister(bell_pair())
+        q = reg.qubit(0)
+        q.measure_computational(rng)
+        assert q.consumed
+        with pytest.raises(QubitConsumedError):
+            q.measure_computational(rng)
+
+    def test_qubit_handle_after_measure_raises(self, rng):
+        reg = EntangledRegister(bell_pair())
+        reg.measure(1, computational_basis(1), rng)
+        with pytest.raises(QubitConsumedError):
+            reg.qubit(1)
+
+    def test_unknown_qubit(self, rng):
+        reg = EntangledRegister(bell_pair())
+        with pytest.raises(MeasurementError):
+            reg.measure(7, computational_basis(1), rng)
+
+    def test_outcomes_recorded(self, rng):
+        reg = EntangledRegister(ghz_state(3))
+        reg.measure(1, computational_basis(1), rng)
+        assert set(reg.outcomes) == {1}
+        assert reg.unmeasured == (0, 2)
+
+    def test_measurement_order_invariance(self):
+        """Joint statistics must not depend on measurement order (paper §2)."""
+        basis_a = chsh_alice_basis(1)
+        basis_b = chsh_bob_basis(0)
+
+        def joint_counts(order):
+            counts = np.zeros((2, 2))
+            for seed in range(4000):
+                rng = np.random.default_rng(seed)
+                reg = EntangledRegister(bell_pair())
+                results = {}
+                for idx in order:
+                    basis = basis_a if idx == 0 else basis_b
+                    results[idx] = reg.measure(idx, basis, rng)
+                counts[results[0], results[1]] += 1
+            return counts / counts.sum()
+
+        forward = joint_counts([0, 1])
+        backward = joint_counts([1, 0])
+        assert np.allclose(forward, backward, atol=0.03)
+
+    def test_ghz_all_same_computational(self):
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            reg = EntangledRegister(ghz_state(3))
+            bits = [reg.measure(i, computational_basis(1), rng) for i in range(3)]
+            assert len(set(bits)) == 1
+
+    def test_reduced_state_of_live_qubits(self, rng):
+        reg = EntangledRegister(ghz_state(3))
+        reduced = reg.reduced_state([0, 1])
+        assert reduced.num_qubits == 2
+
+    def test_reduced_state_of_measured_qubit_raises(self, rng):
+        reg = EntangledRegister(ghz_state(3))
+        reg.measure(0, computational_basis(1), rng)
+        with pytest.raises(MeasurementError):
+            reg.reduced_state([0])
+
+
+class TestPOVM:
+    def test_projective_as_povm(self, rng):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        effects = [np.diag([1.0, 0.0]), np.diag([0.0, 1.0])]
+        outcome, post = povm_measure(rho, effects, rng)
+        assert outcome == 0
+        assert post.probabilities()[0] == pytest.approx(1.0)
+
+    def test_trine_povm_statistics(self):
+        # Symmetric 3-outcome POVM on a single qubit.
+        vecs = []
+        for k in range(3):
+            angle = 2 * math.pi * k / 3
+            vecs.append(
+                np.array([math.cos(angle / 2), math.sin(angle / 2)], dtype=complex)
+            )
+        effects = [2 / 3 * np.outer(v, v.conj()) for v in vecs]
+        rho = DensityMatrix.maximally_mixed(1)
+        counts = np.zeros(3)
+        for seed in range(3000):
+            rng = np.random.default_rng(seed)
+            outcome, _ = povm_measure(rho, effects, rng)
+            counts[outcome] += 1
+        assert counts / counts.sum() == pytest.approx([1 / 3] * 3, abs=0.04)
+
+    def test_rejects_incomplete_povm(self, rng):
+        rho = DensityMatrix.maximally_mixed(1)
+        with pytest.raises(MeasurementError):
+            povm_measure(rho, [np.diag([0.5, 0.5])], rng)

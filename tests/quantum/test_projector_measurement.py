@@ -1,0 +1,98 @@
+"""Direct tests for degenerate projector measurements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, MeasurementError
+from repro.quantum import bell_pair, ghz_state
+from repro.quantum.gates import pauli
+from repro.quantum.measurement import measure_with_projectors
+from repro.quantum.state import DensityMatrix, StateVector
+
+
+def binary_projectors(observable: np.ndarray) -> list[np.ndarray]:
+    eye = np.eye(observable.shape[0])
+    return [(eye + observable) / 2.0, (eye - observable) / 2.0]
+
+
+class TestMeasureWithProjectors:
+    def test_zz_parity_of_bell_pair(self, rng):
+        """ZZ parity of phi+ is always +1 — a rank-2 projective
+        measurement with a deterministic outcome."""
+        projectors = binary_projectors(pauli("ZZ"))
+        for _ in range(20):
+            outcome, post = measure_with_projectors(
+                bell_pair(), projectors, rng
+            )
+            assert outcome == 0
+            assert isinstance(post, DensityMatrix)
+
+    def test_xx_parity_of_bell_pair(self, rng):
+        projectors = binary_projectors(pauli("XX"))
+        outcome, _ = measure_with_projectors(bell_pair(), projectors, rng)
+        assert outcome == 0  # <XX> = +1 on phi+
+
+    def test_nondestructive_parity_preserves_state(self, rng):
+        """A parity measurement whose outcome is certain must leave the
+        Bell state untouched — unlike a full basis measurement."""
+        projectors = binary_projectors(pauli("ZZ"))
+        _, post = measure_with_projectors(bell_pair(), projectors, rng)
+        assert post.fidelity(bell_pair()) == pytest.approx(1.0)
+
+    def test_statistics_on_ghz(self):
+        """X-parity of GHZ(3): <XXX> = +1, so outcome 0 w.p. 1."""
+        projectors = binary_projectors(pauli("XXX"))
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            outcome, _ = measure_with_projectors(
+                ghz_state(3), projectors, rng
+            )
+            assert outcome == 0
+
+    def test_uniform_outcome_when_unbiased(self):
+        """Z-parity on |++>: both parities equally likely."""
+        plus_plus = StateVector.from_amplitudes([1, 1, 1, 1])
+        projectors = binary_projectors(pauli("ZZ"))
+        outcomes = []
+        for seed in range(400):
+            rng = np.random.default_rng(seed)
+            outcome, _ = measure_with_projectors(plus_plus, projectors, rng)
+            outcomes.append(outcome)
+        assert np.mean(outcomes) == pytest.approx(0.5, abs=0.07)
+
+    def test_targets_expansion(self, rng):
+        """Single-qubit projectors applied to one share of a pair."""
+        z_projectors = binary_projectors(pauli("Z"))
+        outcome, post = measure_with_projectors(
+            bell_pair(), z_projectors, rng, targets=[0]
+        )
+        assert outcome in (0, 1)
+        # Post state is the full 2-qubit system, collapsed.
+        assert post.num_qubits == 2
+        probs = post.probabilities()
+        expected_index = 0b00 if outcome == 0 else 0b11
+        assert probs[expected_index] == pytest.approx(1.0)
+
+    def test_rejects_non_projectors(self, rng):
+        bad = [np.eye(4) * 0.5, np.eye(4) * 0.5]
+        with pytest.raises(MeasurementError):
+            measure_with_projectors(bell_pair(), bad, rng)
+
+    def test_rejects_incomplete_set(self, rng):
+        projectors = [binary_projectors(pauli("ZZ"))[0]]
+        with pytest.raises(MeasurementError):
+            measure_with_projectors(bell_pair(), projectors, rng)
+
+    def test_rejects_dim_mismatch_without_targets(self, rng):
+        projectors = binary_projectors(pauli("Z"))
+        with pytest.raises(DimensionError):
+            measure_with_projectors(bell_pair(), projectors, rng)
+
+    def test_accepts_density_matrix_input(self, rng):
+        rho = DensityMatrix.maximally_mixed(2)
+        projectors = binary_projectors(pauli("ZZ"))
+        outcome, post = measure_with_projectors(rho, projectors, rng)
+        assert outcome in (0, 1)
+        assert post.num_qubits == 2

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for quantum substrate invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.bases import rotation_basis
+from repro.quantum.channels import (
+    amplitude_damping,
+    dephasing,
+    depolarizing,
+)
+from repro.quantum.entangle import bell_pair, ghz_state
+from repro.quantum.linalg import is_unitary
+from repro.quantum.measurement import (
+    EntangledRegister,
+    outcome_probabilities,
+)
+from repro.quantum.random_states import (
+    random_density_matrix,
+    random_state_vector,
+    random_unitary,
+)
+from repro.quantum.state import DensityMatrix
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+angles = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+qubit_counts = st.integers(min_value=1, max_value=3)
+probabilities = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=qubit_counts)
+def test_random_states_are_normalized(seed, n):
+    rng = np.random.default_rng(seed)
+    sv = random_state_vector(n, rng)
+    assert np.isclose(np.linalg.norm(sv.vector), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=qubit_counts)
+def test_random_unitaries_are_unitary(seed, n):
+    rng = np.random.default_rng(seed)
+    assert is_unitary(random_unitary(n, rng))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=qubit_counts)
+def test_unitary_evolution_preserves_norm(seed, n):
+    rng = np.random.default_rng(seed)
+    sv = random_state_vector(n, rng)
+    u = random_unitary(n, rng)
+    out = sv.apply(u)
+    assert np.isclose(np.linalg.norm(out.vector), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=qubit_counts)
+def test_density_matrices_valid(seed, n):
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(n, rng)
+    assert np.isclose(np.real(np.trace(rho.matrix)), 1.0)
+    assert rho.eigenvalues().min() >= -1e-10
+    assert 0.0 < rho.purity() <= 1.0 + 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, theta=angles)
+def test_measurement_probabilities_sum_to_one(seed, theta):
+    rng = np.random.default_rng(seed)
+    sv = random_state_vector(1, rng)
+    probs = outcome_probabilities(sv, rotation_basis(theta))
+    assert probs.sum() == pytest.approx(1.0)
+    assert (probs >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, p=probabilities)
+def test_channels_preserve_density_matrix_invariants(seed, p):
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(1, rng)
+    for channel in (depolarizing(p), dephasing(p), amplitude_damping(p)):
+        out = channel.apply(rho)
+        assert np.isclose(np.real(np.trace(out.matrix)), 1.0)
+        assert out.eigenvalues().min() >= -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, p=probabilities)
+def test_depolarizing_contracts_toward_mixed(seed, p):
+    """Purity never increases under depolarizing noise."""
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(1, rng)
+    out = depolarizing(p).apply(rho)
+    assert out.purity() <= rho.purity() + 1e-9
+
+
+def _unconditional_post_state(state, basis, target):
+    """Outcome-averaged state after measuring ``target`` in ``basis``.
+
+    No-signaling constrains this average (not the per-outcome conditional
+    states, which legitimately depend on the observed result).
+    """
+    from repro.quantum.linalg import expand_operator
+
+    rho = state.to_density_matrix()
+    out = np.zeros_like(rho.matrix)
+    for proj in basis.projectors():
+        full = expand_operator(proj, [target], rho.num_qubits)
+        out += full @ rho.matrix @ full
+    return DensityMatrix(out, validate=False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(theta=angles)
+def test_no_signaling_on_bell_pair(theta):
+    """Whatever basis one share is measured in, the outcome-averaged
+    reduced state of the other share stays maximally mixed — correlation
+    without communication."""
+    averaged = _unconditional_post_state(bell_pair(), rotation_basis(theta), 0)
+    reduced = averaged.partial_trace([1])
+    assert np.allclose(reduced.matrix, np.eye(2) / 2, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(theta=angles)
+def test_no_signaling_on_ghz(theta):
+    """Measuring share 2 of a GHZ state in any basis leaves the
+    outcome-averaged A-B reduced state unchanged — the §4.2 reduction's
+    key step."""
+    baseline = ghz_state(3).to_density_matrix().partial_trace([0, 1])
+    averaged = _unconditional_post_state(ghz_state(3), rotation_basis(theta), 2)
+    reduced = averaged.partial_trace([0, 1])
+    assert np.allclose(reduced.matrix, baseline.matrix, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=st.integers(min_value=2, max_value=3))
+def test_partial_trace_consistency(seed, n):
+    """Tracing out one qubit then another equals tracing both at once."""
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(n, rng)
+    if n == 2:
+        return
+    two_step = rho.partial_trace([0, 1]).partial_trace([0])
+    one_step = rho.partial_trace([0])
+    assert np.allclose(two_step.matrix, one_step.matrix, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_fidelity_symmetric_and_bounded(seed):
+    rng = np.random.default_rng(seed)
+    a = random_density_matrix(1, rng)
+    b = random_density_matrix(1, rng)
+    fab = a.fidelity(b)
+    fba = b.fidelity(a)
+    assert fab == pytest.approx(fba, abs=1e-8)
+    assert -1e-9 <= fab <= 1.0 + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=qubit_counts)
+def test_entropy_nonnegative_and_bounded(seed, n):
+    rng = np.random.default_rng(seed)
+    rho = random_density_matrix(n, rng)
+    entropy = rho.von_neumann_entropy()
+    assert -1e-9 <= entropy <= n + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_purification_marginal_entropy_equal(seed):
+    """Both marginals of a random pure 2-qubit state have equal entropy."""
+    rng = np.random.default_rng(seed)
+    rho = random_state_vector(2, rng).to_density_matrix()
+    left = rho.partial_trace([0]).von_neumann_entropy()
+    right = rho.partial_trace([1]).von_neumann_entropy()
+    assert left == pytest.approx(right, abs=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, p=probabilities)
+def test_mixture_is_valid_density(seed, p):
+    rng = np.random.default_rng(seed)
+    a = random_density_matrix(1, rng)
+    b = random_density_matrix(1, rng)
+    mix = DensityMatrix.mixture([(p, a), (1 - p, b)])
+    assert np.isclose(np.real(np.trace(mix.matrix)), 1.0)

@@ -1,0 +1,235 @@
+"""Tests for StateVector and DensityMatrix."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, NotDensityMatrixError, NotNormalizedError
+from repro.quantum import gates
+from repro.quantum.entangle import bell_pair, ghz_state, w_state
+from repro.quantum.state import DensityMatrix, StateVector
+
+
+class TestStateVectorConstruction:
+    def test_zeros(self):
+        sv = StateVector.zeros(3)
+        assert sv.num_qubits == 3
+        assert sv.amplitude("000") == 1.0
+
+    def test_from_bits(self):
+        sv = StateVector.from_bits("101")
+        assert sv.amplitude("101") == 1.0
+        assert sv.amplitude("000") == 0.0
+
+    def test_from_bits_rejects_garbage(self):
+        with pytest.raises(DimensionError):
+            StateVector.from_bits("10x")
+        with pytest.raises(DimensionError):
+            StateVector.from_bits("")
+
+    def test_from_amplitudes_normalizes(self):
+        sv = StateVector.from_amplitudes([1, 1])
+        assert sv.amplitude("0") == pytest.approx(1 / math.sqrt(2))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(NotNormalizedError):
+            StateVector([1.0, 1.0])
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(DimensionError):
+            StateVector([1.0, 0.0, 0.0])
+
+    def test_vector_read_only(self):
+        sv = StateVector.zeros(1)
+        with pytest.raises(ValueError):
+            sv.vector[0] = 0.5
+
+    def test_amplitude_wrong_length(self):
+        with pytest.raises(DimensionError):
+            StateVector.zeros(2).amplitude("0")
+
+
+class TestStateVectorAlgebra:
+    def test_apply_hadamard(self):
+        sv = StateVector.zeros(1).apply(gates.H)
+        assert sv.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_apply_targets(self):
+        sv = StateVector.zeros(2).apply(gates.X, targets=[1])
+        assert sv.amplitude("01") == 1.0
+
+    def test_apply_dim_mismatch(self):
+        with pytest.raises(DimensionError):
+            StateVector.zeros(2).apply(gates.X)
+
+    def test_bell_circuit(self):
+        sv = StateVector.zeros(2).apply(gates.H, targets=[0])
+        sv = sv.apply(gates.cnot())
+        assert sv.fidelity(bell_pair()) == pytest.approx(1.0)
+
+    def test_tensor(self):
+        sv = StateVector.from_bits("1").tensor(StateVector.from_bits("0"))
+        assert sv.amplitude("10") == 1.0
+
+    def test_expectation_z(self):
+        assert StateVector.from_bits("0").expectation(gates.Z) == pytest.approx(1.0)
+        assert StateVector.from_bits("1").expectation(gates.Z) == pytest.approx(-1.0)
+
+    def test_expectation_requires_hermitian(self):
+        from repro.errors import NotHermitianError
+
+        with pytest.raises(NotHermitianError):
+            StateVector.zeros(1).expectation(1j * np.eye(2))
+
+    def test_overlap_and_fidelity(self):
+        plus = StateVector.from_amplitudes([1, 1])
+        assert plus.fidelity(StateVector.from_bits("0")) == pytest.approx(0.5)
+
+    def test_permute_round_trip(self):
+        sv = StateVector.from_bits("011")
+        assert sv.permute([2, 0, 1]).permute([1, 2, 0]) == sv
+
+    def test_equality_and_hash(self):
+        a = StateVector.from_bits("01")
+        b = StateVector.from_bits("01")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != StateVector.from_bits("10")
+
+    def test_repr(self):
+        assert "num_qubits=2" in repr(StateVector.zeros(2))
+
+
+class TestDensityMatrix:
+    def test_from_pure_state(self):
+        rho = StateVector.from_bits("0").to_density_matrix()
+        assert rho.is_pure()
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix.maximally_mixed(2)
+        assert rho.purity() == pytest.approx(0.25)
+        assert not rho.is_pure()
+
+    def test_validation_rejects_non_hermitian(self):
+        with pytest.raises(NotDensityMatrixError):
+            DensityMatrix(np.array([[0.5, 1.0], [0.0, 0.5]]))
+
+    def test_validation_rejects_trace(self):
+        with pytest.raises(NotDensityMatrixError):
+            DensityMatrix(np.eye(2))
+
+    def test_validation_rejects_negative(self):
+        with pytest.raises(NotDensityMatrixError):
+            DensityMatrix(np.diag([1.5, -0.5]))
+
+    def test_mixture(self):
+        rho = DensityMatrix.mixture(
+            [
+                (0.5, StateVector.from_bits("0")),
+                (0.5, StateVector.from_bits("1")),
+            ]
+        )
+        assert np.allclose(rho.matrix, np.eye(2) / 2)
+
+    def test_mixture_rejects_bad_weights(self):
+        with pytest.raises(NotDensityMatrixError):
+            DensityMatrix.mixture([(0.7, StateVector.zeros(1))])
+
+    def test_mixture_empty(self):
+        with pytest.raises(DimensionError):
+            DensityMatrix.mixture([])
+
+    def test_apply_unitary(self):
+        rho = StateVector.zeros(1).to_density_matrix().apply(gates.X)
+        assert rho.probabilities() == pytest.approx([0.0, 1.0])
+
+    def test_apply_targets(self):
+        rho = StateVector.zeros(2).to_density_matrix().apply(gates.X, targets=[0])
+        assert rho.probabilities()[0b10] == pytest.approx(1.0)
+
+    def test_expectation(self):
+        rho = DensityMatrix.maximally_mixed(1)
+        assert rho.expectation(gates.Z) == pytest.approx(0.0)
+
+    def test_tensor(self):
+        rho = (
+            StateVector.from_bits("1")
+            .to_density_matrix()
+            .tensor(StateVector.from_bits("0").to_density_matrix())
+        )
+        assert rho.probabilities()[0b10] == pytest.approx(1.0)
+
+
+class TestPartialTrace:
+    def test_bell_marginal_is_mixed(self):
+        rho = bell_pair().to_density_matrix()
+        marginal = rho.partial_trace([0])
+        assert np.allclose(marginal.matrix, np.eye(2) / 2)
+
+    def test_product_state_marginal(self):
+        sv = StateVector.from_bits("10")
+        left = sv.to_density_matrix().partial_trace([0])
+        assert left.probabilities() == pytest.approx([0.0, 1.0])
+
+    def test_keep_all_is_identity(self):
+        rho = ghz_state(3).to_density_matrix()
+        assert rho.partial_trace([0, 1, 2]) == rho
+
+    def test_ghz_two_qubit_marginal(self):
+        rho = ghz_state(3).to_density_matrix().partial_trace([0, 1])
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[3, 3] = 0.5
+        assert np.allclose(rho.matrix, expected)
+
+    def test_w_state_marginal(self):
+        rho = w_state(3).to_density_matrix().partial_trace([2])
+        assert rho.probabilities() == pytest.approx([2 / 3, 1 / 3])
+
+    def test_requires_sorted_keep(self):
+        rho = ghz_state(3).to_density_matrix()
+        with pytest.raises(DimensionError):
+            rho.partial_trace([1, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DimensionError):
+            bell_pair().to_density_matrix().partial_trace([2])
+
+    def test_trace_preserved(self):
+        rho = ghz_state(4).to_density_matrix().partial_trace([1, 3])
+        assert np.real(np.trace(rho.matrix)) == pytest.approx(1.0)
+
+
+class TestEntropyAndFidelity:
+    def test_pure_state_zero_entropy(self):
+        rho = StateVector.zeros(2).to_density_matrix()
+        assert rho.von_neumann_entropy() == pytest.approx(0.0, abs=1e-9)
+
+    def test_bell_marginal_one_bit(self):
+        marginal = bell_pair().to_density_matrix().partial_trace([0])
+        assert marginal.von_neumann_entropy() == pytest.approx(1.0)
+
+    def test_maximally_mixed_entropy(self):
+        assert DensityMatrix.maximally_mixed(3).von_neumann_entropy() == (
+            pytest.approx(3.0)
+        )
+
+    def test_fidelity_with_pure(self):
+        rho = DensityMatrix.maximally_mixed(1)
+        assert rho.fidelity(StateVector.from_bits("0")) == pytest.approx(0.5)
+
+    def test_fidelity_identical_mixed(self):
+        rho = DensityMatrix.maximally_mixed(2)
+        assert rho.fidelity(rho) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal_pure(self):
+        a = StateVector.from_bits("0").to_density_matrix()
+        b = StateVector.from_bits("1").to_density_matrix()
+        assert a.fidelity(b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_eigenvalues_sum_to_one(self):
+        rho = bell_pair().to_density_matrix().partial_trace([1])
+        assert rho.eigenvalues().sum() == pytest.approx(1.0)

@@ -1,0 +1,129 @@
+"""Tests for state tomography."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, MeasurementError
+from repro.quantum import DensityMatrix, StateVector, bell_pair, werner_state
+from repro.quantum.tomography import (
+    linear_inversion,
+    pauli_expectations,
+    pauli_labels,
+    project_to_density_matrix,
+    sampled_pauli_expectations,
+    tomography,
+)
+
+
+class TestPauliLabels:
+    def test_counts(self):
+        assert len(pauli_labels(1)) == 4
+        assert len(pauli_labels(2)) == 16
+
+    def test_identity_first(self):
+        assert pauli_labels(2)[0] == "II"
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            pauli_labels(0)
+
+
+class TestExactExpectations:
+    def test_zero_state(self):
+        exps = pauli_expectations(StateVector.from_bits("0"))
+        assert exps["I"] == pytest.approx(1.0)
+        assert exps["Z"] == pytest.approx(1.0)
+        assert exps["X"] == pytest.approx(0.0)
+
+    def test_bell_pair_correlations(self):
+        exps = pauli_expectations(bell_pair())
+        assert exps["XX"] == pytest.approx(1.0)
+        assert exps["ZZ"] == pytest.approx(1.0)
+        assert exps["YY"] == pytest.approx(-1.0)
+        assert exps["XI"] == pytest.approx(0.0)
+
+    def test_maximally_mixed(self):
+        exps = pauli_expectations(DensityMatrix.maximally_mixed(1))
+        assert exps["X"] == exps["Y"] == exps["Z"] == 0.0
+
+
+class TestLinearInversion:
+    def test_exact_round_trip_pure(self):
+        rho = bell_pair().to_density_matrix()
+        rec = linear_inversion(pauli_expectations(rho))
+        assert np.allclose(rec, rho.matrix, atol=1e-12)
+
+    def test_exact_round_trip_mixed(self):
+        rho = werner_state(0.7)
+        rec = linear_inversion(pauli_expectations(rho))
+        assert np.allclose(rec, rho.matrix, atol=1e-12)
+
+    def test_missing_labels_rejected(self):
+        with pytest.raises(MeasurementError):
+            linear_inversion({"X": 0.0, "I": 1.0, "Z": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            linear_inversion({})
+
+
+class TestProjection:
+    def test_physical_input_unchanged(self):
+        rho = werner_state(0.8)
+        repaired = project_to_density_matrix(rho.matrix)
+        assert np.allclose(repaired.matrix, rho.matrix, atol=1e-12)
+
+    def test_clips_negative_eigenvalues(self):
+        bad = np.diag([1.2, -0.2]).astype(complex)
+        repaired = project_to_density_matrix(bad)
+        assert repaired.eigenvalues().min() >= -1e-12
+        assert np.real(np.trace(repaired.matrix)) == pytest.approx(1.0)
+
+    def test_zero_collapse_rejected(self):
+        with pytest.raises(MeasurementError):
+            project_to_density_matrix(-np.eye(2, dtype=complex))
+
+
+class TestEndToEnd:
+    def test_sampled_expectations_match_exact(self):
+        rng = np.random.default_rng(0)
+        estimates = sampled_pauli_expectations(bell_pair(), 20_000, rng)
+        exact = pauli_expectations(bell_pair())
+        for label, value in exact.items():
+            assert estimates[label] == pytest.approx(value, abs=0.03)
+
+    def test_shots_validated(self, rng):
+        with pytest.raises(MeasurementError):
+            sampled_pauli_expectations(bell_pair(), 0, rng)
+
+    def test_tomography_recovers_bell_pair(self):
+        rng = np.random.default_rng(1)
+        reconstructed = tomography(bell_pair(), 20_000, rng)
+        assert reconstructed.fidelity(bell_pair()) > 0.99
+
+    def test_tomography_recovers_werner_fidelity(self):
+        rng = np.random.default_rng(2)
+        true_state = werner_state(0.75)
+        reconstructed = tomography(true_state, 20_000, rng)
+        assert reconstructed.fidelity(bell_pair()) == pytest.approx(
+            0.75, abs=0.03
+        )
+
+    def test_more_shots_better_reconstruction(self):
+        target = werner_state(0.9)
+        errors = []
+        for shots in (200, 20_000):
+            rng = np.random.default_rng(3)
+            rec = tomography(target, shots, rng)
+            errors.append(
+                float(np.linalg.norm(rec.matrix - target.matrix))
+            )
+        assert errors[1] < errors[0]
+
+    def test_single_qubit_tomography(self):
+        rng = np.random.default_rng(4)
+        plus = StateVector.from_amplitudes([1, 1])
+        rec = tomography(plus, 20_000, rng)
+        assert rec.fidelity(plus) > 0.99

@@ -1,0 +1,262 @@
+"""Tests for the discrete-event engine core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Environment, Event, Timeout
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_to_quiescence_with_timeouts(self):
+        env = Environment()
+        Timeout(env, 3.0)
+        Timeout(env, 7.0)
+        env.run()
+        assert env.now == 7.0
+
+    def test_run_until_deadline(self):
+        env = Environment()
+        Timeout(env, 10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_deadline_raises(self):
+        env = Environment()
+        env.run(until=5.0)
+        with pytest.raises(SchedulingError):
+            env.run(until=1.0)
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        Timeout(env, 2.5)
+        assert env.peek() == 2.5
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        order = []
+        for delay in (5.0, 1.0, 3.0):
+            Timeout(env, delay).callbacks.append(
+                lambda e, d=delay: order.append(d)
+            )
+        env.run()
+        assert order == [1.0, 3.0, 5.0]
+
+    def test_fifo_among_simultaneous_events(self):
+        env = Environment()
+        order = []
+        for tag in ("first", "second", "third"):
+            Timeout(env, 1.0).callbacks.append(
+                lambda e, t=tag: order.append(t)
+            )
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        env.run()
+        assert event.value == 42
+        assert event.processed
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event().succeed(1)
+        with pytest.raises(SchedulingError):
+            event.succeed(2)
+
+    def test_fail_carries_exception(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("boom"))
+        env.run()
+        assert event.failed
+        with pytest.raises(ValueError):
+            _ = event.value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SchedulingError):
+            Timeout(env, -1.0)
+
+
+class TestProcess:
+    def test_simple_process_advances_clock(self):
+        env = Environment()
+
+        def worker(env):
+            yield Timeout(env, 3.0)
+            yield Timeout(env, 4.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 7.0
+        assert proc.value == "done"
+        assert not proc.is_alive
+
+    def test_process_receives_event_values(self):
+        env = Environment()
+        seen = []
+
+        def worker(env):
+            value = yield Timeout(env, 1.0, value="payload")
+            seen.append(value)
+
+        env.process(worker(env))
+        env.run()
+        assert seen == ["payload"]
+
+    def test_processes_wait_on_each_other(self):
+        env = Environment()
+
+        def child(env):
+            yield Timeout(env, 2.0)
+            return 99
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return result + 1
+
+        proc = env.process(parent(env))
+        env.run()
+        assert proc.value == 100
+
+    def test_run_until_event(self):
+        env = Environment()
+
+        def worker(env):
+            yield Timeout(env, 2.0)
+            return "early"
+
+        proc = env.process(worker(env))
+        Timeout(env, 100.0)
+        result = env.run(until=proc)
+        assert result == "early"
+        assert env.now == 2.0
+
+    def test_run_until_event_that_never_fires(self):
+        env = Environment()
+        pending = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=pending)
+
+    def test_exception_in_process_propagates_to_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield Timeout(env, 1.0)
+            raise RuntimeError("exploded")
+
+        def parent(env):
+            try:
+                yield env.process(bad(env))
+            except RuntimeError:
+                return "caught"
+            return "missed"
+
+        proc = env.process(parent(env))
+        env.run()
+        assert proc.value == "caught"
+
+    def test_waiting_on_failed_event_raises_in_process(self):
+        env = Environment()
+        failing = env.event()
+
+        def worker(env):
+            try:
+                yield failing
+            except ValueError:
+                return "handled"
+
+        proc = env.process(worker(env))
+        failing.fail(ValueError("no"))
+        env.run()
+        assert proc.value == "handled"
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        proc = env.process(bad(env))
+        env.run()
+        assert proc.failed
+
+    def test_yielding_already_processed_event(self):
+        env = Environment()
+        done = env.event().succeed("old")
+        env.run()
+
+        def worker(env):
+            value = yield done
+            return value
+
+        proc = env.process(worker(env))
+        env.run()
+        assert proc.value == "old"
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_foreign_event_rejected(self):
+        env1 = Environment()
+        env2 = Environment()
+
+        def worker(env):
+            yield Timeout(env2, 1.0)
+
+        proc = env1.process(worker(env1))
+        env1.run()
+        assert proc.failed
+
+    def test_two_processes_interleave(self):
+        env = Environment()
+        log = []
+
+        def ticker(env, name, period):
+            for _ in range(3):
+                yield Timeout(env, period)
+                log.append((name, env.now))
+
+        env.process(ticker(env, "fast", 1.0))
+        env.process(ticker(env, "slow", 2.0))
+        env.run()
+        # At t=2.0 both fire; "slow" scheduled its timeout earlier (t=0 vs
+        # t=1), so FIFO tie-breaking runs it first.
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]

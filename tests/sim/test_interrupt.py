@@ -1,0 +1,151 @@
+"""Tests for process interruption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt, Timeout
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeping_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield Timeout(env, 100.0)
+                log.append("slept full")
+            except Interrupt as interrupt:
+                log.append(("interrupted", env.now, interrupt.cause))
+
+        def interrupter(env, victim):
+            yield Timeout(env, 3.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("interrupted", 3.0, "wake up")]
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def worker(env):
+            try:
+                yield Timeout(env, 100.0)
+            except Interrupt:
+                pass
+            yield Timeout(env, 2.0)
+            return "recovered"
+
+        def interrupter(env, victim):
+            yield Timeout(env, 1.0)
+            victim.interrupt()
+
+        proc = env.process(worker(env))
+        env.process(interrupter(env, proc))
+        result = env.run(until=proc)  # the stale 100s timeout still sits
+        assert result == "recovered"  # in the heap; stop at completion
+        assert env.now == 3.0
+
+    def test_stale_event_ignored_after_interrupt(self):
+        """The originally awaited timeout must not resume the process a
+        second time when it eventually fires."""
+        env = Environment()
+        wakeups = []
+
+        def worker(env):
+            try:
+                yield Timeout(env, 5.0)
+            except Interrupt:
+                wakeups.append(("interrupt", env.now))
+            yield Timeout(env, 10.0)
+            wakeups.append(("timeout", env.now))
+
+        def interrupter(env, victim):
+            yield Timeout(env, 1.0)
+            victim.interrupt()
+
+        proc = env.process(worker(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        # One interrupt at t=1, one normal wakeup at t=11; the stale
+        # t=5 timeout fires into the void.
+        assert wakeups == [("interrupt", 1.0), ("timeout", 11.0)]
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def worker(env):
+            yield Timeout(env, 100.0)
+
+        def interrupter(env, victim):
+            yield Timeout(env, 1.0)
+            victim.interrupt("boom")
+
+        proc = env.process(worker(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        assert proc.failed
+        with pytest.raises(Interrupt):
+            _ = proc.value
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield Timeout(env, 1.0)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupt_cause_carried(self):
+        env = Environment()
+        causes = []
+
+        def worker(env):
+            try:
+                yield Timeout(env, 10.0)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+
+        def interrupter(env, victim):
+            yield Timeout(env, 1.0)
+            victim.interrupt({"reason": "deadline"})
+
+        proc = env.process(worker(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        assert causes == [{"reason": "deadline"}]
+
+    def test_timeout_pattern(self):
+        """The canonical use: wait for an event with a deadline."""
+        env = Environment()
+        result = []
+
+        def slow_child(env):
+            yield Timeout(env, 50.0)
+            return "late"
+
+        def parent(env):
+            child = env.process(slow_child(env))
+
+            def watchdog(env, victim):
+                yield Timeout(env, 5.0)
+                if victim.is_alive:
+                    victim.interrupt("deadline")
+
+            env.process(watchdog(env, env_process))
+            try:
+                value = yield child
+                result.append(value)
+            except Interrupt:
+                result.append("timed out")
+
+        env_process = env.process(parent(env))
+        env.run()
+        assert result == ["timed out"]

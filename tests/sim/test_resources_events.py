@@ -1,0 +1,271 @@
+"""Tests for resources, stores, combinators, monitors, and RNG streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError, SimulationError
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Counter,
+    Environment,
+    RandomStreams,
+    Resource,
+    SeriesRecorder,
+    Store,
+    TimeWeightedValue,
+    Timeout,
+)
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        env.run()
+        assert r1.processed and r2.processed
+        assert not r3.triggered
+        assert res.in_use == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_next_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        env.run()
+        res.release(r1)
+        env.run()
+        assert r2.processed and not r3.triggered
+
+    def test_release_unheld_raises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        env.run()
+        res.release(r1)
+        with pytest.raises(ResourceError):
+            res.release(r1)
+
+    def test_release_foreign_request_raises(self):
+        env = Environment()
+        res1, res2 = Resource(env), Resource(env)
+        r = res1.request()
+        env.run()
+        with pytest.raises(ResourceError):
+            res2.release(r)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ResourceError):
+            Resource(Environment(), capacity=0)
+
+    def test_process_workflow(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        completion_times = {}
+
+        def worker(env, name, hold):
+            req = res.request()
+            yield req
+            yield Timeout(env, hold)
+            res.release(req)
+            completion_times[name] = env.now
+
+        env.process(worker(env, "a", 2.0))
+        env.process(worker(env, "b", 3.0))
+        env.run()
+        assert completion_times == {"a": 2.0, "b": 5.0}
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        env.run()
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer(env):
+            item = yield store.get()
+            results.append((env.now, item))
+
+        def producer(env):
+            yield Timeout(env, 5.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert results == [(5.0, "late")]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        values = [store.get(), store.get(), store.get()]
+        env.run()
+        assert [v.value for v in values] == [0, 1, 2]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        p1 = store.put("a")
+        p2 = store.put("b")
+        env.run()
+        assert p1.processed
+        assert not p2.triggered
+        got = store.get()
+        env.run()
+        assert got.value == "a"
+        assert p2.processed
+        assert store.size == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ResourceError):
+            Store(Environment(), capacity=0)
+
+    def test_size(self):
+        env = Environment()
+        store = Store(env)
+        assert store.size == 0
+        store.put("x")
+        assert store.size == 1
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self):
+        env = Environment()
+        combined = AllOf(env, [Timeout(env, 1.0, "a"), Timeout(env, 2.0, "b")])
+        env.run()
+        assert combined.value == ["a", "b"]
+        assert env.now == 2.0
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+        combined = AnyOf(env, [Timeout(env, 5.0, "slow"), Timeout(env, 1.0, "fast")])
+        result = env.run(until=combined)
+        assert result == (1, "fast")
+        assert env.now == 1.0
+
+    def test_all_of_fails_on_child_failure(self):
+        env = Environment()
+        bad = env.event()
+        combined = AllOf(env, [Timeout(env, 1.0), bad])
+        bad.fail(RuntimeError("child died"))
+        env.run()
+        assert combined.failed
+
+    def test_empty_combinators_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env, [])
+        with pytest.raises(SimulationError):
+            AnyOf(env, [])
+
+    def test_mixed_environments_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [Timeout(env2, 1.0)])
+
+    def test_already_processed_children(self):
+        env = Environment()
+        done = env.event().succeed("x")
+        env.run()
+        combined = AllOf(env, [done])
+        env.run()
+        assert combined.value == ["x"]
+
+
+class TestMonitors:
+    def test_time_weighted_average(self):
+        env = Environment()
+        metric = TimeWeightedValue(env, initial=0.0)
+
+        def driver(env):
+            yield Timeout(env, 2.0)
+            metric.set(10.0)  # 0 for [0,2)
+            yield Timeout(env, 2.0)
+            metric.set(0.0)  # 10 for [2,4)
+
+        env.process(driver(env))
+        env.run()
+        # Average over [0,4): (0*2 + 10*2) / 4 = 5.
+        assert metric.time_average() == pytest.approx(5.0)
+
+    def test_add(self):
+        env = Environment()
+        metric = TimeWeightedValue(env, initial=1.0)
+        metric.add(2.0)
+        assert metric.value == 3.0
+
+    def test_average_with_zero_duration(self):
+        env = Environment()
+        metric = TimeWeightedValue(env, initial=7.0)
+        assert metric.time_average() == 7.0
+
+    def test_counter(self):
+        c = Counter()
+        c.increment()
+        c.increment(by=4)
+        assert c.count == 5
+        assert c.rate(2.5) == pytest.approx(2.0)
+
+    def test_counter_rate_validation(self):
+        with pytest.raises(SimulationError):
+            Counter().rate(0.0)
+
+    def test_series_recorder(self):
+        rec = SeriesRecorder()
+        rec.record(0.0, 1.0)
+        rec.record(1.0, 3.0)
+        assert len(rec) == 2
+        assert rec.mean() == pytest.approx(2.0)
+
+    def test_series_recorder_order_enforced(self):
+        rec = SeriesRecorder()
+        rec.record(1.0, 1.0)
+        with pytest.raises(SimulationError):
+            rec.record(0.5, 2.0)
+
+    def test_series_recorder_empty_mean(self):
+        with pytest.raises(SimulationError):
+            SeriesRecorder().mean()
+
+
+class TestRandomStreams:
+    def test_reproducible(self):
+        a = RandomStreams(7).stream("workload").random(5)
+        b = RandomStreams(7).stream("workload").random(5)
+        assert (a == b).all()
+
+    def test_named_streams_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("workload").random(5)
+        b = streams.stream("balancer").random(5)
+        assert not (a == b).all()
+
+    def test_stream_cached(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fresh_not_cached(self):
+        streams = RandomStreams(7)
+        f1 = streams.fresh("x")
+        f2 = streams.fresh("x")
+        assert f1 is not f2
+        assert (f1.random(3) == f2.random(3)).all()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("s").random(5)
+        b = RandomStreams(2).stream("s").random(5)
+        assert not (a == b).all()

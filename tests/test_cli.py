@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+
+class TestCommands:
+    def test_chsh(self, capsys):
+        assert main(["chsh"]) == 0
+        out = capsys.readouterr().out
+        assert "0.750000" in out
+        assert "0.853553" in out
+
+    def test_fig3_small(self, capsys):
+        code = main(
+            ["fig3", "--games", "3", "--points", "0.0", "--vertices", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(quantum advantage)" in out
+        assert "0.0000" in out
+
+    def test_fig4_small(self, capsys):
+        code = main(
+            [
+                "fig4",
+                "--balancers",
+                "10",
+                "--steps",
+                "50",
+                "--loads",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classical random" in out
+        assert "quantum CHSH" in out
+
+    def test_ecmp(self, capsys):
+        assert main(["ecmp"]) == 0
+        out = capsys.readouterr().out
+        assert "best classical" in out
+        assert "0.666667" in out
+
+    def test_budget(self, capsys):
+        code = main(
+            [
+                "budget",
+                "--source-fidelity",
+                "0.99",
+                "--fiber-km",
+                "0.1",
+                "--storage-us",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quantum advantage?" in out
+        assert "yes" in out
+
+    def test_budget_noisy_loses_advantage(self, capsys):
+        code = main(
+            [
+                "budget",
+                "--source-fidelity",
+                "0.6",
+                "--fiber-km",
+                "0.1",
+                "--storage-us",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "NO" in capsys.readouterr().out
+
+    def test_values(self, capsys):
+        assert main(["values", "--seed", "1", "--vertices", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "classical value" in out
+        assert "quantum value" in out
+
+    def test_mermin(self, capsys):
+        assert main(["mermin", "--max-players", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0.750000" in out
+        assert "1.000000" in out
+
+    def test_mermin_validates_players(self):
+        with pytest.raises(SystemExit):
+            main(["mermin", "--max-players", "2"])
+
+    def test_calibrate_good_hardware(self, capsys):
+        code = main(
+            ["calibrate", "--fidelity", "0.98", "--samples", "4000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certified non-classical?" in out
+        assert "yes" in out
+
+    def test_calibrate_bad_hardware(self, capsys):
+        code = main(
+            ["calibrate", "--fidelity", "0.5", "--samples", "2000"]
+        )
+        assert code == 0
+        assert "NO" in capsys.readouterr().out
