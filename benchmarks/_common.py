@@ -9,7 +9,16 @@ above 1 for tighter statistics, below 1 for a faster smoke run.
 Result blocks are written to the *real* stdout (bypassing pytest's
 capture, so they appear without ``-s``) and appended to the report file
 named by ``REPRO_BENCH_REPORT`` (default ``bench_report.txt`` in the
-working directory).
+working directory). Appends take an ``fcntl`` advisory lock around a
+single buffered write, so concurrent benchmark processes (e.g.
+``REPRO_JOBS``-parallel sweeps, or several pytest invocations sharing a
+report) never interleave partial blocks.
+
+Sweep-style benchmarks route execution through
+:class:`repro.exec.SweepRunner`; :func:`sweep_jobs` and
+:func:`sweep_cache` pick up the worker count (``REPRO_JOBS``) and
+result-cache toggle (``REPRO_SWEEP_CACHE``, default on) from the
+environment.
 """
 
 from __future__ import annotations
@@ -17,13 +26,50 @@ from __future__ import annotations
 import os
 import sys
 
-__all__ = ["scaled", "print_block"]
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+__all__ = ["scaled", "print_block", "sweep_jobs", "sweep_cache"]
 
 
 def scaled(base: int, minimum: int = 1) -> int:
     """Scale a sample count by ``REPRO_BENCH_SCALE``."""
     factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     return max(minimum, int(round(base * factor)))
+
+
+def sweep_jobs() -> int:
+    """Worker count for sweep benchmarks: ``REPRO_JOBS`` or CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def sweep_cache() -> bool:
+    """Whether sweep benchmarks use the on-disk result cache.
+
+    On by default; disable with ``REPRO_SWEEP_CACHE=0`` (the cache key
+    covers configs, seeds, and the work function's own code, but not
+    transitive imports — see ``repro.exec.cache``).
+    """
+    value = os.environ.get("REPRO_SWEEP_CACHE", "1").strip().lower()
+    return value not in {"", "0", "false", "no", "off"}
+
+
+def _append_report(path: str, block: str) -> None:
+    """Append one block under an advisory lock, as a single write."""
+    with open(path, "a", encoding="utf-8") as report:
+        if fcntl is not None:
+            fcntl.flock(report.fileno(), fcntl.LOCK_EX)
+        try:
+            report.write(block)
+            report.flush()
+        finally:
+            if fcntl is not None:
+                fcntl.flock(report.fileno(), fcntl.LOCK_UN)
 
 
 def print_block(title: str, body: str) -> None:
@@ -35,5 +81,4 @@ def print_block(title: str, body: str) -> None:
     stream.flush()
     report_path = os.environ.get("REPRO_BENCH_REPORT", "bench_report.txt")
     if report_path:
-        with open(report_path, "a", encoding="utf-8") as report:
-            report.write(block)
+        _append_report(report_path, block)

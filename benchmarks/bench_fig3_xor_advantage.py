@@ -4,30 +4,54 @@ quantum advantage, vs the probability that an edge is exclusive.
 Paper claims (Fig 3 + §4.1): the curve vanishes at the extremes, most
 randomly labeled graphs in the middle exhibit a quantum advantage, and
 the advantage probability increases with the number of vertices.
+
+Each curve point is an independent (config, seed) sweep point executed
+through :class:`repro.exec.SweepRunner`: its RNG derives from the root
+seed and the point's parameters via :class:`repro.sim.RandomStreams`,
+so points are order-independent and parallel runs match serial ones
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from benchmarks._common import print_block, scaled
+from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
 from repro.analysis import FigureData, format_figure
+from repro.exec import SweepRunner
 from repro.games import (
     advantage_probability,
     random_affinity_graph,
     xor_game_from_graph,
     xor_quantum_value,
 )
+from repro.sim import RandomStreams
+
+
+def _advantage_point(config, seed):
+    """One Fig 3 point: advantage probability at one (vertices, p)."""
+    rng = RandomStreams(seed).stream(
+        f"fig3:v={config['vertices']}:p={config['p']}"
+    )
+    return advantage_probability(
+        config["vertices"], config["p"], config["games"], rng
+    )
 
 
 def bench_fig3_advantage_curve(benchmark):
-    games_per_point = scaled(40)
+    games_per_point = scaled(40, 5)
     p_values = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
-    rng = np.random.default_rng(42)
-    probabilities = [
-        advantage_probability(5, p, games_per_point, rng)
-        for p in p_values
-    ]
+    runner = SweepRunner(
+        _advantage_point,
+        jobs=sweep_jobs(),
+        cache=sweep_cache(),
+        label="fig3-advantage",
+    )
+    report = runner.run(
+        [
+            ({"vertices": 5, "p": p, "games": games_per_point}, 42)
+            for p in p_values
+        ]
+    )
+    probabilities = report.values()
 
     figure = FigureData(
         title=f"Fig 3: P(quantum advantage), 5-vertex graphs, "
@@ -36,13 +60,16 @@ def bench_fig3_advantage_curve(benchmark):
         y_label="P(quantum advantage)",
     )
     figure.add("5 vertices", p_values, probabilities)
-    print_block("Fig 3 — XOR-game advantage probability", format_figure(figure))
+    body = format_figure(figure) + "\n\n" + report.summary()
+    print_block("Fig 3 — XOR-game advantage probability", body)
 
     # Shape assertions from the paper's figure.
     assert probabilities[0] == 0.0, "all-colocate games are classical-perfect"
     assert max(probabilities[3:8]) > 0.4, "most mid-range graphs show advantage"
 
     # Timed kernel: one full classical+quantum value computation.
+    import numpy as np
+
     kernel_rng = np.random.default_rng(7)
     graph = random_affinity_graph(5, 0.5, kernel_rng)
     game = xor_game_from_graph(graph)
@@ -52,14 +79,22 @@ def bench_fig3_advantage_curve(benchmark):
 def bench_fig3_vertex_scaling(benchmark):
     """Paper: 'the probability of achieving a quantum advantage increases
     with the number of vertices'."""
-    games_per_point = scaled(30)
+    games_per_point = scaled(30, 5)
     p_exclusive = 0.5
     sizes = [3, 4, 5, 6]
-    rng = np.random.default_rng(11)
-    probabilities = [
-        advantage_probability(n, p_exclusive, games_per_point, rng)
-        for n in sizes
-    ]
+    runner = SweepRunner(
+        _advantage_point,
+        jobs=sweep_jobs(),
+        cache=sweep_cache(),
+        label="fig3-vertex-scaling",
+    )
+    report = runner.run(
+        [
+            ({"vertices": n, "p": p_exclusive, "games": games_per_point}, 11)
+            for n in sizes
+        ]
+    )
+    probabilities = report.values()
     figure = FigureData(
         title=f"Fig 3 inset: advantage probability vs vertex count "
         f"(p_exclusive={p_exclusive}, {games_per_point} games/point)",
@@ -67,11 +102,14 @@ def bench_fig3_vertex_scaling(benchmark):
         y_label="P(quantum advantage)",
     )
     figure.add(f"p={p_exclusive}", [float(n) for n in sizes], probabilities)
-    print_block("Fig 3 — vertex-count scaling", format_figure(figure))
+    body = format_figure(figure) + "\n\n" + report.summary()
+    print_block("Fig 3 — vertex-count scaling", body)
 
     assert probabilities[-1] >= probabilities[0], (
         "advantage probability should not shrink with more vertices"
     )
+
+    import numpy as np
 
     kernel_rng = np.random.default_rng(13)
     benchmark(

@@ -4,18 +4,22 @@ and quantum (CHSH-paired) load balancing.
 Paper claims: "the knee point — where queue length begins to increase
 rapidly — occurs later in the quantum version"; N = 100 load balancers;
 results depend primarily on the ratio N/M.
+
+Sweeps execute through :class:`repro.exec.SweepRunner` (``REPRO_JOBS``
+workers, on-disk result cache), with per-sweep runner metrics appended
+to the result block.
 """
 
 from __future__ import annotations
 
-from benchmarks._common import print_block, scaled
+from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
 from repro.analysis import FigureData, format_figure, format_table
 from repro.lb import (
     CHSHPairedAssignment,
     ClassicalPairedAssignment,
     RandomAssignment,
     knee_load,
-    sweep_load,
+    sweep_load_detailed,
 )
 
 LOADS = (0.5, 0.75, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0)
@@ -23,30 +27,24 @@ LOADS = (0.5, 0.75, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0)
 
 def bench_fig4_queue_length_curve(benchmark):
     num_balancers = 100
-    timesteps = scaled(800)
-    sweeps = {
-        "classical random": sweep_load(
-            RandomAssignment,
+    timesteps = scaled(800, 240)
+    jobs, cache = sweep_jobs(), sweep_cache()
+    sweeps = {}
+    reports = {}
+    for name, factory in (
+        ("classical random", RandomAssignment),
+        ("classical paired", ClassicalPairedAssignment),
+        ("quantum CHSH", CHSHPairedAssignment),
+    ):
+        sweeps[name], reports[name] = sweep_load_detailed(
+            factory,
             num_balancers=num_balancers,
             loads=LOADS,
             timesteps=timesteps,
             seed=3,
-        ),
-        "classical paired": sweep_load(
-            ClassicalPairedAssignment,
-            num_balancers=num_balancers,
-            loads=LOADS,
-            timesteps=timesteps,
-            seed=3,
-        ),
-        "quantum CHSH": sweep_load(
-            CHSHPairedAssignment,
-            num_balancers=num_balancers,
-            loads=LOADS,
-            timesteps=timesteps,
-            seed=3,
-        ),
-    }
+            jobs=jobs,
+            cache=cache,
+        )
 
     figure = FigureData(
         title=f"Fig 4: N={num_balancers}, {timesteps} steps, "
@@ -71,6 +69,7 @@ def bench_fig4_queue_length_curve(benchmark):
         knees,
         float_format="{:.2f}",
     )
+    body += "\n\n" + "\n".join(r.summary() for r in reports.values())
     print_block("Fig 4 — quantum load balancing shifts the knee", body)
 
     classical_knee = knee_load(sweeps["classical random"], queue_threshold=10.0)
@@ -103,20 +102,25 @@ def bench_fig4_queueing_delay(benchmark):
     """Same experiment through the delay lens (the Fig 4 caption reads
     'average queuing delay')."""
     num_balancers = 100
-    timesteps = scaled(800)
-    random_points = sweep_load(
+    timesteps = scaled(800, 240)
+    jobs, cache = sweep_jobs(), sweep_cache()
+    random_points, random_report = sweep_load_detailed(
         RandomAssignment,
         num_balancers=num_balancers,
         loads=LOADS,
         timesteps=timesteps,
         seed=5,
+        jobs=jobs,
+        cache=cache,
     )
-    quantum_points = sweep_load(
+    quantum_points, quantum_report = sweep_load_detailed(
         CHSHPairedAssignment,
         num_balancers=num_balancers,
         loads=LOADS,
         timesteps=timesteps,
         seed=5,
+        jobs=jobs,
+        cache=cache,
     )
     figure = FigureData(
         title=f"Fig 4 (delay form): N={num_balancers}, {timesteps} steps",
@@ -133,7 +137,9 @@ def bench_fig4_queueing_delay(benchmark):
         [p.load for p in quantum_points],
         [p.result.mean_queueing_delay for p in quantum_points],
     )
-    print_block("Fig 4 — queueing delay", format_figure(figure))
+    body = format_figure(figure)
+    body += "\n\n" + random_report.summary() + "\n" + quantum_report.summary()
+    print_block("Fig 4 — queueing delay", body)
 
     by_load_random = {round(p.load, 2): p for p in random_points}
     by_load_quantum = {round(p.load, 2): p for p in quantum_points}

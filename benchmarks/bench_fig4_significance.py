@@ -3,13 +3,19 @@
 A single seeded run could overstate the quantum benefit; this bench
 repeats the load-1.1 comparison over independent seeds and reports
 mean ± 95% CI for each policy. The intervals must separate.
+
+Seeds fan out over ``REPRO_JOBS`` worker processes through
+:class:`repro.exec.SweepRunner` (bit-identical to a serial run) and
+land in the on-disk result cache, so a repeated run is pure cache hits.
 """
 
 from __future__ import annotations
 
-from benchmarks._common import print_block, scaled
+from functools import partial
+
+from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
 from repro.analysis import format_table
-from repro.analysis.sweep import compare_seeded
+from repro.analysis.sweep import compare_seeded_detailed
 from repro.lb import (
     CHSHPairedAssignment,
     RandomAssignment,
@@ -17,24 +23,30 @@ from repro.lb import (
 )
 
 
+def _mean_queue_metric(factory, n, m, timesteps, seed):
+    """Module-level so seeds can run in worker processes and cache."""
+    return run_timestep_simulation(
+        factory(n, m), timesteps=timesteps, seed=seed
+    ).mean_queue_length
+
+
 def bench_fig4_seed_significance(benchmark):
     n, m = 100, 91  # load ~1.1, just past the classical knee
-    timesteps = scaled(600)
-    seeds = list(range(1, scaled(8) + 1))
+    timesteps = scaled(600, 200)
+    seeds = list(range(1, scaled(8, 3) + 1))
 
-    def classical_metric(seed: int) -> float:
-        return run_timestep_simulation(
-            RandomAssignment(n, m), timesteps=timesteps, seed=seed
-        ).mean_queue_length
-
-    def quantum_metric(seed: int) -> float:
-        return run_timestep_simulation(
-            CHSHPairedAssignment(n, m), timesteps=timesteps, seed=seed
-        ).mean_queue_length
-
-    results = compare_seeded(
-        {"classical random": classical_metric, "quantum CHSH": quantum_metric},
+    results, reports = compare_seeded_detailed(
+        {
+            "classical random": partial(
+                _mean_queue_metric, RandomAssignment, n, m, timesteps
+            ),
+            "quantum CHSH": partial(
+                _mean_queue_metric, CHSHPairedAssignment, n, m, timesteps
+            ),
+        },
         seeds,
+        jobs=sweep_jobs(),
+        cache=sweep_cache(),
     )
     rows = [
         [r.label, r.mean, r.low, r.high, len(r.samples)]
@@ -52,6 +64,7 @@ def bench_fig4_seed_significance(benchmark):
     body += (
         f"\nCIs separated: {separated} — the knee shift is not seed noise"
     )
+    body += "\n\n" + "\n".join(r.summary() for r in reports.values())
     print_block("Fig 4 — seed significance", body)
 
     assert quantum.mean < classical.mean

@@ -7,7 +7,13 @@ from repro.analysis.stats import (
     jain_fairness,
     mean_confidence_interval,
 )
-from repro.analysis.sweep import SeededResult, compare_seeded, run_seeded
+from repro.analysis.sweep import (
+    SeededResult,
+    compare_seeded,
+    compare_seeded_detailed,
+    run_seeded,
+    run_seeded_detailed,
+)
 from repro.analysis.tables import format_figure, format_table
 
 __all__ = [
@@ -21,5 +27,7 @@ __all__ = [
     "format_table",
     "SeededResult",
     "compare_seeded",
+    "compare_seeded_detailed",
     "run_seeded",
+    "run_seeded_detailed",
 ]

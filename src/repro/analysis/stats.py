@@ -64,6 +64,25 @@ class OnlineStats:
         for v in values:
             self.push(v)
 
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Fold another accumulator into this one (Chan et al.'s
+        parallel combination), so per-worker accumulators combine into
+        the same count/mean/variance a single accumulator would hold.
+        Returns ``self`` for chaining."""
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._mean += delta * other._count / total
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._count = total
+        return self
+
     def variance(self) -> float:
         """Unbiased sample variance; needs at least two samples."""
         if self._count < 2:

@@ -3,6 +3,12 @@
 Single-seed comparisons can mistake noise for effects; this runner
 repeats every configuration across seeds and reports mean ± CI, which
 the significance benchmark uses to show the Fig 4 knee shift is real.
+
+Execution is delegated to :class:`repro.exec.SweepRunner`, so seeds can
+fan out over worker processes (``jobs``) and hit the on-disk result
+cache (``cache``) — with results bit-identical to a serial run. The
+default ``jobs=1`` keeps the historical serial behavior for existing
+callers.
 """
 
 from __future__ import annotations
@@ -12,8 +18,15 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import mean_confidence_interval
 from repro.errors import ConfigurationError
+from repro.exec import RunReport, SweepRunner
 
-__all__ = ["SeededResult", "run_seeded", "compare_seeded"]
+__all__ = [
+    "SeededResult",
+    "run_seeded",
+    "run_seeded_detailed",
+    "compare_seeded",
+    "compare_seeded_detailed",
+]
 
 
 @dataclass(frozen=True)
@@ -37,21 +50,101 @@ class SeededResult:
         return not (self.high < other.low or other.high < self.low)
 
 
+class _MetricPoint:
+    """Adapter giving a ``metric(seed)`` callable the runner's
+    ``fn(config, seed)`` shape while keeping the metric out of the
+    (pickled) configs."""
+
+    def __init__(self, metric: Callable[[int], float]) -> None:
+        self.metric = metric
+
+    def __call__(self, config, seed: int) -> float:
+        return float(self.metric(seed))
+
+
+def run_seeded_detailed(
+    label: str,
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    *,
+    z: float = 1.96,
+    jobs: int | None = 1,
+    cache=False,
+    cache_dir=None,
+    progress=None,
+) -> tuple[SeededResult, RunReport]:
+    """Like :func:`run_seeded`, also returning the execution report."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    runner = SweepRunner(
+        _MetricPoint(metric),
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        label=label,
+        progress=progress,
+    )
+    report = runner.run([({"label": label}, int(seed)) for seed in seeds])
+    samples = [float(point.value) for point in report.points]
+    mean, low, high = mean_confidence_interval(samples, z=z)
+    result = SeededResult(
+        label=label, mean=mean, low=low, high=high, samples=tuple(samples)
+    )
+    return result, report
+
+
 def run_seeded(
     label: str,
     metric: Callable[[int], float],
     seeds: Sequence[int],
     *,
     z: float = 1.96,
+    jobs: int | None = 1,
+    cache=False,
+    cache_dir=None,
+    progress=None,
 ) -> SeededResult:
     """Evaluate ``metric(seed)`` across seeds and aggregate."""
-    if not seeds:
-        raise ConfigurationError("need at least one seed")
-    samples = [float(metric(seed)) for seed in seeds]
-    mean, low, high = mean_confidence_interval(samples, z=z)
-    return SeededResult(
-        label=label, mean=mean, low=low, high=high, samples=tuple(samples)
+    result, _ = run_seeded_detailed(
+        label,
+        metric,
+        seeds,
+        z=z,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        progress=progress,
     )
+    return result
+
+
+def compare_seeded_detailed(
+    metrics: Mapping[str, Callable[[int], float]],
+    seeds: Sequence[int],
+    *,
+    z: float = 1.96,
+    jobs: int | None = 1,
+    cache=False,
+    cache_dir=None,
+    progress=None,
+) -> tuple[dict[str, SeededResult], dict[str, RunReport]]:
+    """Like :func:`compare_seeded`, also returning per-label reports."""
+    if not metrics:
+        raise ConfigurationError("need at least one metric")
+    results: dict[str, SeededResult] = {}
+    reports: dict[str, RunReport] = {}
+    for label, metric in metrics.items():
+        results[label], reports[label] = run_seeded_detailed(
+            label,
+            metric,
+            seeds,
+            z=z,
+            jobs=jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            progress=progress,
+        )
+    return results, reports
 
 
 def compare_seeded(
@@ -59,11 +152,19 @@ def compare_seeded(
     seeds: Sequence[int],
     *,
     z: float = 1.96,
+    jobs: int | None = 1,
+    cache=False,
+    cache_dir=None,
+    progress=None,
 ) -> dict[str, SeededResult]:
     """Run several labeled metrics over the same seeds."""
-    if not metrics:
-        raise ConfigurationError("need at least one metric")
-    return {
-        label: run_seeded(label, metric, seeds, z=z)
-        for label, metric in metrics.items()
-    }
+    results, _ = compare_seeded_detailed(
+        metrics,
+        seeds,
+        z=z,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        progress=progress,
+    )
+    return results

@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--loads", type=float, nargs="+",
                       default=[0.75, 1.0, 1.25, 1.5])
     fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for the sweep (default: "
+                      "REPRO_JOBS, then CPU count; results are "
+                      "bit-identical to a serial run)")
 
     sub.add_parser("ecmp", help="§4.2 collision games and reduction")
 
@@ -153,6 +157,7 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
             loads=args.loads,
             timesteps=args.steps,
             seed=args.seed,
+            jobs=args.jobs,
         )
         figure.add(
             name,

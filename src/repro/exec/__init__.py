@@ -1,0 +1,28 @@
+"""Parallel seeded-experiment execution: runner, report, result cache.
+
+The paper's headline figures are Monte-Carlo sweeps over (config, seed)
+points; this subsystem executes those points over a process pool with a
+content-addressed on-disk cache, while guaranteeing bit-identical
+results between parallel and serial runs of the same points.
+"""
+
+from repro.exec.cache import (
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_key,
+    stable_fingerprint,
+)
+from repro.exec.runner import PointResult, RunReport, SweepRunner, resolve_jobs
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "PointResult",
+    "ResultCache",
+    "RunReport",
+    "SweepRunner",
+    "cache_key",
+    "resolve_jobs",
+    "stable_fingerprint",
+]

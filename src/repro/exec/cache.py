@@ -1,0 +1,232 @@
+"""Content-addressed on-disk cache for sweep point results.
+
+A sweep point is identified by *what would be computed*: the config
+dict, the seed, and a token derived from the work function's own code
+(module, qualname, source text, default arguments, and closure cells).
+Editing a policy class referenced from a config therefore changes the
+key and forces a recompute of exactly the affected points, while
+untouched points keep hitting the cache.
+
+The key deliberately does **not** chase transitive imports — editing a
+helper deep inside the simulator will not invalidate old entries. Bump
+:data:`CACHE_VERSION`, call :meth:`ResultCache.clear`, or delete the
+cache directory (``REPRO_CACHE_DIR``, default ``.repro_cache``) when
+that matters.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import os
+import pickle
+import tempfile
+import types
+from collections.abc import Mapping, Sequence, Set
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "cache_key",
+    "stable_fingerprint",
+]
+
+#: Bump to invalidate every existing cache entry at once.
+CACHE_VERSION = 1
+
+#: Default cache directory (relative to the working directory) when
+#: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
+#: root is given.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _callable_fingerprint(fn, seen: set[int]) -> str:
+    """Fingerprint a function/class/partial/callable instance by code."""
+    if isinstance(fn, functools.partial):
+        inner = [
+            _fingerprint(fn.func, seen),
+            _fingerprint(list(fn.args), seen),
+            _fingerprint(dict(fn.keywords), seen),
+        ]
+        return "partial(" + ",".join(inner) + ")"
+    if isinstance(fn, types.MethodType):
+        return (
+            "method("
+            + _fingerprint(fn.__func__, seen)
+            + ","
+            + _fingerprint(fn.__self__, seen)
+            + ")"
+        )
+    if not isinstance(fn, (types.FunctionType, types.BuiltinFunctionType, type)):
+        # A callable instance: identify it by its class plus its state.
+        state = getattr(fn, "__dict__", {})
+        return (
+            "instance("
+            + _fingerprint(type(fn), seen)
+            + ","
+            + _fingerprint(dict(state), seen)
+            + ")"
+        )
+    parts = [
+        getattr(fn, "__module__", "?") or "?",
+        getattr(fn, "__qualname__", repr(fn)),
+    ]
+    try:
+        source = inspect.getsource(fn)
+        parts.append(hashlib.sha256(source.encode("utf-8")).hexdigest())
+    except (OSError, TypeError):
+        pass  # builtins / REPL definitions: qualname is all we have
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        cells = [cell.cell_contents for cell in closure]
+        parts.append(_fingerprint(cells, seen))
+    defaults = getattr(fn, "__defaults__", None)
+    if defaults:
+        parts.append(_fingerprint(list(defaults), seen))
+    return "callable(" + ",".join(parts) + ")"
+
+
+def _fingerprint(obj, seen: set[int]) -> str:
+    if obj is None:
+        return "none"
+    if isinstance(obj, bool):
+        return f"bool:{obj}"
+    if isinstance(obj, int):
+        return f"int:{obj}"
+    if isinstance(obj, float):
+        return f"float:{obj.hex()}"
+    if isinstance(obj, complex):
+        return f"complex:{obj.real.hex()},{obj.imag.hex()}"
+    if isinstance(obj, str):
+        return "str:" + hashlib.sha256(obj.encode("utf-8")).hexdigest()[:32]
+    if isinstance(obj, bytes):
+        return "bytes:" + hashlib.sha256(obj).hexdigest()[:32]
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return _fingerprint(obj.item(), seen)
+    if isinstance(obj, np.ndarray):
+        return "ndarray:" + hashlib.sha256(
+            repr(obj.shape).encode() + obj.tobytes()
+        ).hexdigest()[:32]
+    # Containers and callables can be self-referential; guard on identity.
+    if id(obj) in seen:
+        return "cycle"
+    seen = seen | {id(obj)}
+    if isinstance(obj, Mapping):
+        items = sorted(
+            (_fingerprint(k, seen), _fingerprint(v, seen))
+            for k, v in obj.items()
+        )
+        return "map{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+    if isinstance(obj, Set):
+        return "set{" + ",".join(sorted(_fingerprint(v, seen) for v in obj)) + "}"
+    if isinstance(obj, Sequence):
+        return "seq[" + ",".join(_fingerprint(v, seen) for v in obj) + "]"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        body = {f.name: getattr(obj, f.name) for f in fields(obj)}
+        return (
+            "dataclass("
+            + _fingerprint(type(obj), seen)
+            + ","
+            + _fingerprint(body, seen)
+            + ")"
+        )
+    if callable(obj):
+        return _callable_fingerprint(obj, seen)
+    raise ConfigurationError(
+        f"cannot build a stable cache fingerprint for {type(obj).__name__!r}; "
+        "use plain data (numbers, strings, dicts, lists), dataclasses, or "
+        "importable callables in sweep configs"
+    )
+
+
+def stable_fingerprint(obj) -> str:
+    """A deterministic, content-addressed fingerprint of ``obj``.
+
+    Plain data maps to its values, callables map to their code (source
+    hash, defaults, closure cells), so the fingerprint changes exactly
+    when the described computation changes. Raises
+    :class:`~repro.errors.ConfigurationError` for objects with no stable
+    identity (e.g. open files, raw object reprs with addresses).
+    """
+    return _fingerprint(obj, set())
+
+
+def cache_key(config, seed: int, *, code_token: str = "") -> str:
+    """The cache key for one (config, seed) sweep point."""
+    material = "|".join(
+        [
+            f"v{CACHE_VERSION}",
+            f"repro-{__version__}",
+            code_token,
+            stable_fingerprint(config),
+            f"seed:{int(seed)}",
+        ]
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed, content-addressed result store.
+
+    Entries are written atomically (temp file + :func:`os.replace`) so a
+    crashed or concurrent writer can never leave a torn entry; unreadable
+    entries are treated as misses.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        root = root or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, object]:
+        """Return ``(hit, value)``; corrupt or missing entries miss."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                return True, pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return False, None
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

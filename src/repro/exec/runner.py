@@ -1,0 +1,338 @@
+"""The parallel seeded-experiment execution engine.
+
+:class:`SweepRunner` fans (config, seed) points out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, consults a
+content-addressed on-disk :class:`~repro.exec.cache.ResultCache` before
+computing anything, and reports per-run metrics through a
+:class:`RunReport`. ``jobs=1`` is an executor-free serial path, and the
+engine guarantees parallel and serial runs of the same points are
+bit-identical: every point is computed by the same pure function of
+``(config, seed)``, each in a fresh context, and results are returned
+in submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache, cache_key, stable_fingerprint
+
+__all__ = ["PointResult", "RunReport", "SweepRunner", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_JOBS`` > CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"REPRO_JOBS={env!r} is not an integer"
+                ) from exc
+        else:
+            jobs = os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"need at least one worker, got jobs={jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one (config, seed) sweep point.
+
+    Attributes:
+        config: the point's configuration, as submitted.
+        seed: the point's root seed.
+        value: whatever the work function returned.
+        wall_seconds: compute time for this point (cache-lookup time
+            when ``cached``).
+        cached: whether the value came from the result cache.
+    """
+
+    config: object
+    seed: int
+    value: object
+    wall_seconds: float
+    cached: bool
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Per-run metrics for one :meth:`SweepRunner.run` call.
+
+    Attributes:
+        label: the runner's label (shows up in progress lines).
+        jobs: resolved worker count.
+        points: per-point outcomes, in submission order.
+        wall_clock: end-to-end run time in seconds.
+        cache_hits: points served from the result cache.
+    """
+
+    label: str
+    jobs: int
+    points: tuple[PointResult, ...]
+    wall_clock: float
+    cache_hits: int
+
+    @property
+    def points_completed(self) -> int:
+        """Total points this run produced (computed + cached)."""
+        return len(self.points)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed per-point compute time across workers."""
+        return sum(p.wall_seconds for p in self.points if not p.cached)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Busy time as a fraction of total worker capacity."""
+        capacity = self.jobs * self.wall_clock
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def values(self) -> list:
+        """The per-point values, in submission order."""
+        return [p.value for p in self.points]
+
+    def summary(self) -> str:
+        """One-line human summary of the run."""
+        computed = self.points_completed - self.cache_hits
+        return (
+            f"[sweep:{self.label}] {self.points_completed} points "
+            f"({computed} computed, {self.cache_hits} cached) in "
+            f"{self.wall_clock:.2f}s with {self.jobs} worker(s); "
+            f"busy {self.busy_seconds:.2f}s, "
+            f"utilization {self.worker_utilization:.0%}"
+        )
+
+
+# The work function for the current run. Set in the parent before the
+# executor forks so closures (unpicklable) ride into workers by memory
+# inheritance; spawn-based platforms receive a pickled copy through the
+# pool initializer instead.
+_WORKER_FN: Callable | None = None
+
+
+def _install_worker_fn(payload) -> None:
+    global _WORKER_FN
+    _WORKER_FN = pickle.loads(payload) if isinstance(payload, bytes) else payload
+
+
+def _execute_point(item):
+    index, config, seed = item
+    start = time.perf_counter()
+    value = _WORKER_FN(config, seed)
+    return index, value, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Run a pure function of (config, seed) over many sweep points.
+
+    Args:
+        fn: the work function, ``fn(config, seed) -> result``. It must be
+            deterministic in its arguments for the engine's bit-identical
+            parallel/serial guarantee to hold, and its result must be
+            picklable when ``jobs > 1``.
+        jobs: worker processes. ``None`` resolves ``REPRO_JOBS`` then
+            ``os.cpu_count()``; ``1`` runs serially in-process.
+        cache: ``True`` for the default on-disk cache, ``False``/``None``
+            to disable, or a :class:`ResultCache` instance.
+        cache_dir: cache directory when ``cache=True`` (defaults to
+            ``REPRO_CACHE_DIR`` or ``.repro_cache``).
+        label: name used in progress lines and the report.
+        progress: callable receiving progress strings. ``None`` enables
+            stderr lines only when ``REPRO_SWEEP_PROGRESS`` is set.
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        jobs: int | None = None,
+        cache: bool | ResultCache | None = False,
+        cache_dir: str | os.PathLike | None = None,
+        label: str | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if not callable(fn):
+            raise ConfigurationError("fn must be callable")
+        self._fn = fn
+        self.jobs = resolve_jobs(jobs)
+        self.label = label or getattr(fn, "__name__", "sweep")
+        if isinstance(cache, ResultCache):
+            self._cache: ResultCache | None = cache
+        elif cache:
+            self._cache = ResultCache(cache_dir)
+        else:
+            self._cache = None
+        if progress is not None:
+            self._progress = progress
+        elif os.environ.get("REPRO_SWEEP_PROGRESS", "").strip():
+            self._progress = lambda msg: print(msg, file=sys.stderr, flush=True)
+        else:
+            self._progress = None
+        self._code_token: str | None = None
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache in use, if any."""
+        return self._cache
+
+    def _emit(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def _key(self, config, seed: int) -> str:
+        if self._code_token is None:
+            self._code_token = stable_fingerprint(self._fn)
+        return cache_key(config, seed, code_token=self._code_token)
+
+    def run(self, points: Iterable[tuple[object, int]]) -> RunReport:
+        """Evaluate every (config, seed) point and return the report.
+
+        Results come back in submission order. Worker exceptions
+        propagate to the caller after the pool is torn down.
+        """
+        submitted: Sequence[tuple[object, int]] = [
+            (config, int(seed)) for config, seed in points
+        ]
+        if not submitted:
+            raise ConfigurationError("need at least one sweep point")
+        start = time.perf_counter()
+        total = len(submitted)
+        outcomes: list[PointResult | None] = [None] * total
+        pending: list[tuple[int, object, int]] = []
+        cache_hits = 0
+        for index, (config, seed) in enumerate(submitted):
+            if self._cache is not None:
+                lookup = time.perf_counter()
+                hit, value = self._cache.get(self._key(config, seed))
+                if hit:
+                    outcomes[index] = PointResult(
+                        config=config,
+                        seed=seed,
+                        value=value,
+                        wall_seconds=time.perf_counter() - lookup,
+                        cached=True,
+                    )
+                    cache_hits += 1
+                    self._emit(
+                        f"[sweep:{self.label}] point {index + 1}/{total} "
+                        f"seed={seed} cached"
+                    )
+                    continue
+            pending.append((index, config, seed))
+
+        if pending:
+            jobs = min(self.jobs, len(pending))
+            if jobs == 1:
+                self._run_serial(pending, outcomes, total)
+            else:
+                self._run_parallel(pending, outcomes, total, jobs)
+
+        if self._cache is not None:
+            for index, config, seed in pending:
+                self._cache.put(
+                    self._key(config, seed), outcomes[index].value
+                )
+
+        report = RunReport(
+            label=self.label,
+            jobs=self.jobs,
+            points=tuple(outcomes),
+            wall_clock=time.perf_counter() - start,
+            cache_hits=cache_hits,
+        )
+        self._emit(report.summary())
+        return report
+
+    def _record(
+        self,
+        outcomes: list,
+        item: tuple[int, object, int],
+        value,
+        wall: float,
+        done: int,
+        total: int,
+    ) -> None:
+        index, config, seed = item
+        outcomes[index] = PointResult(
+            config=config, seed=seed, value=value, wall_seconds=wall,
+            cached=False,
+        )
+        self._emit(
+            f"[sweep:{self.label}] point {done}/{total} "
+            f"seed={seed} {wall:.3f}s"
+        )
+
+    def _run_serial(self, pending, outcomes, total) -> None:
+        done = total - len(pending)
+        for item in pending:
+            _, config, seed = item
+            begin = time.perf_counter()
+            value = self._fn(config, seed)
+            done += 1
+            self._record(
+                outcomes, item, value, time.perf_counter() - begin, done, total
+            )
+
+    def _make_executor(self, jobs: int) -> ProcessPoolExecutor:
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            # Workers inherit the parent's memory, so even closure-based
+            # work functions ride along without pickling.
+            ctx = multiprocessing.get_context("fork")
+            payload = self._fn
+        else:  # spawn-only platform: the function must pickle
+            ctx = multiprocessing.get_context()
+            payload = pickle.dumps(self._fn)
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=_install_worker_fn,
+            initargs=(payload,),
+        )
+
+    def _run_parallel(self, pending, outcomes, total, jobs) -> None:
+        try:
+            executor = self._make_executor(jobs)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            warnings.warn(
+                f"sweep work function is not picklable ({exc}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._run_serial(pending, outcomes, total)
+            return
+        done = total - len(pending)
+        with executor:
+            futures = {
+                executor.submit(_execute_point, item): item
+                for item in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index, value, wall = future.result()
+                    done += 1
+                    self._record(
+                        outcomes, futures[future], value, wall, done, total
+                    )

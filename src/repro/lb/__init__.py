@@ -25,7 +25,12 @@ from repro.lb.simulation import (
     SimulationResult,
     run_timestep_simulation,
 )
-from repro.lb.sweep import LoadSweepPoint, knee_load, sweep_load
+from repro.lb.sweep import (
+    LoadSweepPoint,
+    knee_load,
+    sweep_load,
+    sweep_load_detailed,
+)
 from repro.lb.xor_lb import ClassicalGraphPairedAssignment, XORPairedAssignment
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "LoadSweepPoint",
     "knee_load",
     "sweep_load",
+    "sweep_load_detailed",
     "ClassicalGraphPairedAssignment",
     "XORPairedAssignment",
 ]

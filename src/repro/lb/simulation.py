@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.lb.policies import AssignmentPolicy
 from repro.net.packet import TaskType
 from repro.net.workload import BernoulliTaskMix
+from repro.sim.rng import RandomStreams
 
 __all__ = [
     "ServiceDiscipline",
@@ -167,8 +168,9 @@ def run_timestep_simulation(
             f"workload covers {getattr(workload, 'num_balancers', '?')} "
             f"balancers, policy needs {policy.num_balancers}"
         )
-    workload_rng = np.random.default_rng(np.random.SeedSequence([seed, 1]))
-    policy_rng = np.random.default_rng(np.random.SeedSequence([seed, 2]))
+    streams = RandomStreams(seed)
+    workload_rng = streams.stream("workload")
+    policy_rng = streams.stream("policy")
 
     queues: list[deque] = [deque() for _ in range(num_servers)]
     warmup = int(timesteps * warmup_fraction)

@@ -19,6 +19,13 @@ class RandomStreams:
     Streams are derived from a root seed and a string name via
     ``numpy.random.SeedSequence``; the same (seed, name) pair always
     yields the same stream.
+
+    Derivation uses the name's UTF-8 bytes as the ``spawn_key``, so the
+    (seed, name) -> stream map is injective and lives in a different
+    key space from any plain ``SeedSequence([seed, k])`` construction.
+    (The previous scheme hashed ``[seed] + [ord(c) for c in name]``
+    directly into the entropy, which collided with ``[seed, k]``-style
+    sequences for names like ``chr(k)``.)
     """
 
     def __init__(self, seed: int) -> None:
@@ -30,16 +37,18 @@ class RandomStreams:
         """The root seed."""
         return self._seed
 
+    def sequence(self, name: str) -> np.random.SeedSequence:
+        """The :class:`~numpy.random.SeedSequence` backing ``name``."""
+        return np.random.SeedSequence(
+            self._seed, spawn_key=tuple(name.encode("utf-8"))
+        )
+
     def stream(self, name: str) -> np.random.Generator:
         """Return the (cached) stream for ``name``."""
         if name not in self._cache:
-            entropy = [self._seed] + [ord(c) for c in name]
-            self._cache[name] = np.random.default_rng(
-                np.random.SeedSequence(entropy)
-            )
+            self._cache[name] = np.random.default_rng(self.sequence(name))
         return self._cache[name]
 
     def fresh(self, name: str) -> np.random.Generator:
         """Return a brand-new generator for ``name`` (not cached)."""
-        entropy = [self._seed] + [ord(c) for c in name]
-        return np.random.default_rng(np.random.SeedSequence(entropy))
+        return np.random.default_rng(self.sequence(name))

@@ -41,6 +41,51 @@ class TestOnlineStats:
         assert large.stderr() < small.stderr()
 
 
+class TestOnlineStatsMerge:
+    def test_merge_matches_single_accumulator(self):
+        """Per-worker accumulators fold into the single-accumulator
+        ground truth (the parallel sweep engine relies on this)."""
+        rng = np.random.default_rng(4)
+        values = rng.normal(loc=3.0, scale=2.0, size=400)
+        ground_truth = OnlineStats()
+        ground_truth.extend(values)
+        merged = OnlineStats()
+        for chunk in np.array_split(values, 7):
+            worker = OnlineStats()
+            worker.extend(chunk)
+            merged.merge(worker)
+        assert merged.count == ground_truth.count
+        assert merged.mean == pytest.approx(ground_truth.mean, rel=1e-12)
+        assert merged.variance() == pytest.approx(
+            ground_truth.variance(), rel=1e-12
+        )
+
+    def test_merge_into_empty(self):
+        other = OnlineStats()
+        other.extend([1.0, 2.0, 3.0])
+        stats = OnlineStats()
+        stats.merge(other)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.variance() == pytest.approx(1.0)
+
+    def test_merge_empty_is_noop(self):
+        stats = OnlineStats()
+        stats.extend([1.0, 2.0])
+        before = (stats.count, stats.mean, stats.variance())
+        stats.merge(OnlineStats())
+        assert (stats.count, stats.mean, stats.variance()) == before
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        a.extend([1.0])
+        b.extend([2.0])
+        c.extend([3.0])
+        assert a.merge(b).merge(c) is a
+        assert a.count == 3
+        assert a.mean == pytest.approx(2.0)
+
+
 class TestConfidenceIntervals:
     def test_interval_brackets_mean(self):
         mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])

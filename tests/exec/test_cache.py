@@ -1,0 +1,107 @@
+"""Tests for the content-addressed result cache and its fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, cache_key, stable_fingerprint
+from repro.lb import CHSHPairedAssignment, RandomAssignment
+
+
+def _module_fn(config, seed):
+    return seed
+
+
+def _other_fn(config, seed):
+    return seed + 1
+
+
+class TestStableFingerprint:
+    def test_deterministic(self):
+        config = {"a": 1, "b": [1.5, "x"], "c": {"d": None}}
+        assert stable_fingerprint(config) == stable_fingerprint(dict(config))
+
+    def test_dict_order_irrelevant(self):
+        assert stable_fingerprint({"a": 1, "b": 2}) == stable_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_changes_fingerprint(self):
+        base = {"timesteps": 800, "p": 0.5}
+        assert stable_fingerprint(base) != stable_fingerprint(
+            {"timesteps": 801, "p": 0.5}
+        )
+
+    def test_bool_int_float_distinct(self):
+        assert stable_fingerprint(True) != stable_fingerprint(1)
+        assert stable_fingerprint(1) != stable_fingerprint(1.0)
+
+    def test_numpy_scalars_match_python(self):
+        assert stable_fingerprint(np.int64(7)) == stable_fingerprint(7)
+        assert stable_fingerprint(np.float64(0.5)) == stable_fingerprint(0.5)
+
+    def test_classes_fingerprint_by_identity_and_source(self):
+        assert stable_fingerprint(RandomAssignment) != stable_fingerprint(
+            CHSHPairedAssignment
+        )
+        assert stable_fingerprint(RandomAssignment) == stable_fingerprint(
+            RandomAssignment
+        )
+
+    def test_functions_differ(self):
+        assert stable_fingerprint(_module_fn) != stable_fingerprint(_other_fn)
+
+    def test_closure_cells_included(self):
+        def make(offset):
+            return lambda s: s + offset
+
+        assert stable_fingerprint(make(1)) != stable_fingerprint(make(2))
+        assert stable_fingerprint(make(3)) == stable_fingerprint(make(3))
+
+    def test_unstable_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stable_fingerprint(object())
+
+
+class TestCacheKey:
+    def test_seed_and_config_and_code_matter(self):
+        base = cache_key({"a": 1}, 0, code_token="t")
+        assert cache_key({"a": 1}, 1, code_token="t") != base
+        assert cache_key({"a": 2}, 0, code_token="t") != base
+        assert cache_key({"a": 1}, 0, code_token="u") != base
+        assert cache_key({"a": 1}, 0, code_token="t") == base
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"x": 1}, 5)
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"value": 42})
+        hit, value = cache.get(key)
+        assert hit and value == {"value": 42}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"x": 1}, 5)
+        cache.put(key, "fine")
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(cache_key({}, seed), seed)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envcache"

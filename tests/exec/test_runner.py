@@ -1,0 +1,209 @@
+"""Tests for the parallel sweep engine: parity, caching, metrics."""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.analysis import compare_seeded
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, SweepRunner, resolve_jobs
+from repro.lb import (
+    CHSHPairedAssignment,
+    RandomAssignment,
+    run_timestep_simulation,
+    sweep_load,
+)
+
+
+def _identity_point(config, seed):
+    return (config["tag"], seed)
+
+
+def _simulate_point(config, seed):
+    policy = config["factory"](config["n"], config["m"])
+    return run_timestep_simulation(
+        policy, timesteps=config["timesteps"], seed=seed
+    )
+
+
+def _counting_point(config, seed):
+    marker = os.path.join(config["marker_dir"], f"{config['tag']}-{seed}")
+    with open(marker, "a", encoding="utf-8") as fh:
+        fh.write("x")
+    return seed * 2
+
+
+def _sleep_point(config, seed):
+    time.sleep(config["sleep"])
+    return seed
+
+
+def _queue_metric(factory, n, m, timesteps, seed):
+    return run_timestep_simulation(
+        factory(n, m), timesteps=timesteps, seed=seed
+    ).mean_queue_length
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_cpu_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
+    def test_invalid_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(None)
+
+
+class TestSerialRunner:
+    def test_values_in_submission_order(self):
+        runner = SweepRunner(_identity_point, jobs=1)
+        report = runner.run(
+            [({"tag": "a"}, 2), ({"tag": "b"}, 1), ({"tag": "a"}, 0)]
+        )
+        assert report.values() == [("a", 2), ("b", 1), ("a", 0)]
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(_identity_point, jobs=1).run([])
+
+    def test_report_metrics(self):
+        runner = SweepRunner(_identity_point, jobs=1, label="metrics")
+        report = runner.run([({"tag": "a"}, s) for s in range(4)])
+        assert report.points_completed == 4
+        assert report.cache_hits == 0
+        assert report.jobs == 1
+        assert all(p.wall_seconds >= 0.0 for p in report.points)
+        assert 0.0 <= report.worker_utilization <= 1.0
+        assert "metrics" in report.summary()
+        assert "4 points" in report.summary()
+
+    def test_progress_lines(self):
+        lines = []
+        runner = SweepRunner(
+            _identity_point, jobs=1, label="prog", progress=lines.append
+        )
+        runner.run([({"tag": "a"}, 0), ({"tag": "a"}, 1)])
+        assert len(lines) == 3  # one per point + summary
+        assert all("prog" in line for line in lines)
+
+
+class TestParallelRunner:
+    def test_matches_serial_bit_for_bit(self):
+        points = [
+            ({"factory": f, "n": 24, "m": 20, "timesteps": 120}, seed)
+            for f in (RandomAssignment, CHSHPairedAssignment)
+            for seed in (1, 2)
+        ]
+        serial = SweepRunner(_simulate_point, jobs=1).run(points)
+        parallel = SweepRunner(_simulate_point, jobs=4).run(points)
+        assert serial.values() == parallel.values()
+
+    def test_closures_ride_through_fork(self):
+        offset = 17
+        runner = SweepRunner(lambda config, seed: seed + offset, jobs=2)
+        report = runner.run([(None, 1), (None, 2), (None, 3)])
+        assert report.values() == [18, 19, 20]
+
+    def test_worker_exception_propagates(self):
+        def boom(config, seed):
+            raise ValueError(f"bad seed {seed}")
+
+        with pytest.raises(ValueError, match="bad seed"):
+            SweepRunner(boom, jobs=2).run([(None, 1), (None, 2)])
+
+    def test_sleep_speedup(self):
+        """Fan-out beats serial even when workers timeshare one core,
+        because the stall here is a sleep, not compute."""
+        points = [({"sleep": 0.15}, s) for s in range(6)]
+        serial = SweepRunner(_sleep_point, jobs=1).run(points)
+        parallel = SweepRunner(_sleep_point, jobs=3).run(points)
+        assert parallel.values() == serial.values()
+        assert serial.wall_clock > 1.5 * parallel.wall_clock
+        assert parallel.worker_utilization > 0.3
+
+
+class TestSeededParity:
+    def test_compare_seeded_jobs4_matches_serial(self):
+        """The acceptance check: a CHSH-vs-random Fig 4 comparison gives
+        identical SeededResults at jobs=4 and jobs=1."""
+        metrics = {
+            "classical random": partial(
+                _queue_metric, RandomAssignment, 30, 27, 150
+            ),
+            "quantum CHSH": partial(
+                _queue_metric, CHSHPairedAssignment, 30, 27, 150
+            ),
+        }
+        seeds = [1, 2, 3]
+        serial = compare_seeded(metrics, seeds, jobs=1)
+        parallel = compare_seeded(metrics, seeds, jobs=4)
+        assert serial == parallel  # dataclass equality: bit-identical floats
+
+    def test_sweep_load_jobs_parity(self):
+        kwargs = dict(
+            num_balancers=20,
+            loads=(0.8, 1.25),
+            timesteps=100,
+            seed=4,
+        )
+        assert sweep_load(RandomAssignment, jobs=1, **kwargs) == sweep_load(
+            RandomAssignment, jobs=2, **kwargs
+        )
+
+
+class TestCacheIntegration:
+    def test_second_run_is_pure_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = [
+            ({"tag": "t", "marker_dir": str(tmp_path)}, s) for s in range(4)
+        ]
+        first = SweepRunner(_counting_point, jobs=1, cache=cache).run(points)
+        assert first.cache_hits == 0
+        second = SweepRunner(_counting_point, jobs=1, cache=cache).run(points)
+        assert second.cache_hits == 4
+        assert second.values() == first.values()
+        # every point was computed exactly once
+        for seed in range(4):
+            marker = tmp_path / f"t-{seed}"
+            assert marker.read_text() == "x"
+
+    def test_param_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(_counting_point, jobs=1, cache=cache)
+        runner.run([({"tag": "a", "marker_dir": str(tmp_path)}, 0)])
+        report = runner.run([({"tag": "b", "marker_dir": str(tmp_path)}, 0)])
+        assert report.cache_hits == 0
+        assert (tmp_path / "b-0").exists()
+
+    def test_code_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(_identity_point, jobs=1, cache=cache).run(
+            [({"tag": "a"}, 0)]
+        )
+        report = SweepRunner(
+            lambda config, seed: ("other", seed), jobs=1, cache=cache
+        ).run([({"tag": "a"}, 0)])
+        assert report.cache_hits == 0
+        assert report.values() == [("other", 0)]
+
+    def test_parallel_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = [({"tag": "p", "marker_dir": str(tmp_path)}, s) for s in (1, 2)]
+        SweepRunner(_counting_point, jobs=2, cache=cache).run(points)
+        report = SweepRunner(_counting_point, jobs=2, cache=cache).run(points)
+        assert report.cache_hits == 2

@@ -178,6 +178,36 @@ class TestSweep:
         knee = knee_load(points, queue_threshold=5.0)
         assert 1.0 <= knee <= 2.0
 
+    def test_requested_load_recorded(self):
+        points = sweep_load(
+            RandomAssignment,
+            num_balancers=100,
+            loads=(0.75, 1.1),
+            timesteps=50,
+            seed=1,
+        )
+        assert [p.requested_load for p in points] == [0.75, 1.1]
+        # actual load is N / round(N / requested), not the request itself
+        assert points[1].num_servers == 91
+        assert points[1].load == pytest.approx(100 / 91)
+
+    def test_collapsed_loads_deduped_with_warning(self):
+        """Regression: at N=100, requested loads 1.0 and 1.02 both round
+        to 98..100 servers — 1.02 rounds to 98, 1.0 to 100; but 1.0 and
+        1.002 both give 100 servers and used to produce two identical
+        points with silently wrong .load values."""
+        with pytest.warns(UserWarning, match="round to 100 servers"):
+            points = sweep_load(
+                RandomAssignment,
+                num_balancers=100,
+                loads=(1.0, 1.002),
+                timesteps=50,
+                seed=1,
+            )
+        assert len(points) == 1
+        assert points[0].requested_load == 1.0
+        assert points[0].num_servers == 100
+
     def test_knee_inf_when_stable(self):
         points = sweep_load(
             RandomAssignment,

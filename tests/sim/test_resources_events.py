@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ResourceError, SimulationError
@@ -269,3 +270,29 @@ class TestRandomStreams:
         a = RandomStreams(1).stream("s").random(5)
         b = RandomStreams(2).stream("s").random(5)
         assert not (a == b).all()
+
+    def test_no_collision_with_plain_seed_sequences(self):
+        """Regression: the old derivation hashed [seed] + [ord(c), ...]
+        straight into the entropy, so stream(chr(k)) collided with any
+        SeedSequence([seed, k]) built elsewhere (the Fig 4 harness used
+        [seed, 1] and [seed, 2])."""
+        seed = 7
+        streams = RandomStreams(seed)
+        for k in (1, 2):
+            named = streams.fresh(chr(k)).random(8)
+            plain = np.random.default_rng(
+                np.random.SeedSequence([seed, k])
+            ).random(8)
+            assert not (named == plain).all()
+
+    def test_non_ascii_names_supported(self):
+        streams = RandomStreams(3)
+        a = streams.stream("α-workload").random(4)
+        b = streams.stream("β-workload").random(4)
+        assert not (a == b).all()
+
+    def test_sequence_reproducible(self):
+        a = RandomStreams(5).sequence("x")
+        b = RandomStreams(5).sequence("x")
+        assert a.entropy == b.entropy
+        assert a.spawn_key == b.spawn_key

@@ -1,0 +1,85 @@
+"""Regression tests for concurrent benchmark-report appends.
+
+``print_block`` used to append with a bare ``open(..., "a")`` write of
+several chunks, so concurrent benchmark processes could interleave
+partial blocks in ``bench_report.txt``. It now takes an advisory lock
+around a single buffered write; these tests hammer it from several
+processes and require every block to come out intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import re
+import sys
+
+BLOCKS_PER_PROCESS = 12
+PROCESSES = 4
+BAR = "=" * 72
+
+
+def _hammer(report_path: str, proc_index: int) -> None:
+    os.environ["REPRO_BENCH_REPORT"] = report_path
+    # print_block also writes to the real stdout; silence it in workers.
+    sys.__stdout__ = open(os.devnull, "w", encoding="utf-8")
+    from benchmarks._common import print_block
+
+    for block_index in range(BLOCKS_PER_PROCESS):
+        title = f"title p{proc_index} b{block_index}"
+        body = "\n".join(
+            f"p{proc_index} b{block_index} line{line}" for line in range(40)
+        )
+        print_block(title, body)
+
+
+def _spawn_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class TestConcurrentReportAppends:
+    def test_blocks_never_interleave(self, tmp_path):
+        report_path = str(tmp_path / "report.txt")
+        ctx = _spawn_context()
+        workers = [
+            ctx.Process(target=_hammer, args=(report_path, proc_index))
+            for proc_index in range(PROCESSES)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+
+        text = open(report_path, encoding="utf-8").read()
+        # Each block is "\n{BAR}\n{title}\n{BAR}\n{body}\n", so splitting
+        # on the exact delimiter alternates titles and bodies; anything
+        # interleaved breaks the alternation or corrupts a body.
+        parts = text.split(f"\n{BAR}\n")
+        assert parts[0] == ""
+        titles, bodies = parts[1::2], parts[2::2]
+        assert len(titles) == len(bodies) == PROCESSES * BLOCKS_PER_PROCESS
+        seen = set()
+        for title, body in zip(titles, bodies):
+            match = re.fullmatch(r"title p(\d+) b(\d+)", title)
+            assert match, f"corrupted title {title!r}"
+            proc_index, block_index = match.groups()
+            expected = "\n".join(
+                f"p{proc_index} b{block_index} line{line}"
+                for line in range(40)
+            )
+            assert body == expected + "\n", f"corrupted block {title!r}"
+            seen.add((proc_index, block_index))
+        assert len(seen) == PROCESSES * BLOCKS_PER_PROCESS
+
+    def test_single_process_block_format_unchanged(self, tmp_path, monkeypatch):
+        report_path = str(tmp_path / "single.txt")
+        monkeypatch.setenv("REPRO_BENCH_REPORT", report_path)
+        from benchmarks._common import print_block
+
+        print_block("hello", "world")
+        text = open(report_path, encoding="utf-8").read()
+        assert text == f"\n{BAR}\nhello\n{BAR}\nworld\n"
