@@ -1,0 +1,135 @@
+"""Engine speed: the vectorized Fig 4 engine vs the reference loop.
+
+Times both engines on the ISSUE 2 target point (N=100 balancers, M=50
+servers, 2000 timesteps, CHSH-paired policy — the hottest configuration
+every load sweep, significance run, and ablation hits) plus a classical
+point, and asserts the vectorized engine wins. At full scale
+(``REPRO_BENCH_SCALE >= 1``) the requirement is the ISSUE's ≥5×; at
+smoke scale it degrades to "not slower", which is what the CI perf gate
+runs.
+
+Each run also cross-checks the engines agree on the physics: identical
+results for the exact-parity random policy and same-ballpark mean queue
+lengths for CHSH.
+
+A trajectory file (``BENCH_engine.json``, override via
+``REPRO_BENCH_ENGINE_JSON``) records per-repeat wall-clock times and
+speedups for trend tracking; CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks._common import print_block, scaled
+from repro.analysis import format_table
+from repro.lb import (
+    CHSHPairedAssignment,
+    RandomAssignment,
+    run_timestep_simulation,
+)
+
+REPEATS = 3
+
+
+def _time_engine(policy_factory, *, n, m, timesteps, engine):
+    """Best-of-REPEATS wall clock plus the (deterministic) result."""
+    times = []
+    result = None
+    for _ in range(REPEATS):
+        policy = policy_factory(n, m)
+        start = time.perf_counter()
+        result = run_timestep_simulation(
+            policy, timesteps=timesteps, seed=1, engine=engine
+        )
+        times.append(time.perf_counter() - start)
+    return times, result
+
+
+def bench_engine_speed(benchmark):
+    timesteps = scaled(2000, 120)
+    full_scale = timesteps >= 2000
+    points = [
+        ("quantum CHSH", CHSHPairedAssignment, 100, 50),
+        ("classical random", RandomAssignment, 100, 50),
+    ]
+
+    rows = []
+    trajectory = {
+        "benchmark": "engine_speed",
+        "timesteps": timesteps,
+        "repeats": REPEATS,
+        "full_scale": full_scale,
+        "points": [],
+    }
+    speedups = {}
+    for name, factory, n, m in points:
+        ref_times, ref_result = _time_engine(
+            factory, n=n, m=m, timesteps=timesteps, engine="reference"
+        )
+        vec_times, vec_result = _time_engine(
+            factory, n=n, m=m, timesteps=timesteps, engine="vectorized"
+        )
+        speedup = min(ref_times) / min(vec_times)
+        speedups[name] = speedup
+        rows.append(
+            [name, min(ref_times), min(vec_times), speedup]
+        )
+        trajectory["points"].append(
+            {
+                "policy": name,
+                "num_balancers": n,
+                "num_servers": m,
+                "reference_seconds": ref_times,
+                "vectorized_seconds": vec_times,
+                "speedup": speedup,
+                "reference_mean_queue": ref_result.mean_queue_length,
+                "vectorized_mean_queue": vec_result.mean_queue_length,
+            }
+        )
+        # Physics cross-check: same model, whichever engine ran it.
+        if factory is RandomAssignment:
+            assert ref_result == vec_result, "exact-parity policy diverged"
+        else:
+            drift = abs(
+                vec_result.mean_queue_length - ref_result.mean_queue_length
+            )
+            assert drift < max(5.0, 0.2 * ref_result.mean_queue_length), (
+                "engines disagree on mean queue length"
+            )
+
+    body = format_table(
+        ["point", "reference s", "vectorized s", "speedup"],
+        rows,
+        float_format="{:.4f}",
+    )
+    body += (
+        f"\n\ntimesteps={timesteps} (REPRO_BENCH_SCALE), best of "
+        f"{REPEATS}; target: >=5x at full scale on the CHSH point"
+    )
+    print_block("Engine speed — vectorized vs reference", body)
+
+    out_path = os.environ.get("REPRO_BENCH_ENGINE_JSON", "BENCH_engine.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+    for name, speedup in speedups.items():
+        assert speedup >= 1.0, (
+            f"vectorized engine slower than reference on {name}: {speedup:.2f}x"
+        )
+    if full_scale:
+        assert speedups["quantum CHSH"] >= 5.0, (
+            f"ISSUE 2 target missed: {speedups['quantum CHSH']:.2f}x < 5x"
+        )
+
+    policy = CHSHPairedAssignment(100, 50)
+    benchmark.pedantic(
+        lambda: run_timestep_simulation(
+            policy, timesteps=min(timesteps, 500), seed=1, engine="vectorized"
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the sweep (default: "
                       "REPRO_JOBS, then CPU count; results are "
                       "bit-identical to a serial run)")
+    fig4.add_argument("--engine", choices=("auto", "reference", "vectorized"),
+                      default="auto",
+                      help="simulation engine: 'vectorized' forces the "
+                      "batched numpy engine, 'reference' the deque loop, "
+                      "'auto' picks per point (see docs/reproducing.md)")
 
     sub.add_parser("ecmp", help="§4.2 collision games and reduction")
 
@@ -158,6 +163,7 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
             timesteps=args.steps,
             seed=args.seed,
             jobs=args.jobs,
+            engine=args.engine,
         )
         figure.add(
             name,

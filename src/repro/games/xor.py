@@ -24,6 +24,25 @@ from repro.games.base import TwoPlayerGame
 
 __all__ = ["XORGame"]
 
+#: Sign-vector rows materialized per brute-force chunk; bounds peak
+#: memory at ~chunk * nx floats while keeping the matmuls large.
+_BRUTE_FORCE_CHUNK = 1 << 14
+
+
+def _sign_chunks(nx: int):
+    """Yield ±1 sign matrices covering Alice's ``2^(nx-1)`` assignments.
+
+    The leading sign (bit ``nx - 1``) is fixed to +1: flipping every
+    sign of both players negates nothing in an XOR game (global flip
+    symmetry), so half the patterns suffice. Yielded chunks have shape
+    ``(<=_BRUTE_FORCE_CHUNK, nx)``.
+    """
+    bits = np.arange(nx)
+    for start in range(1 << (nx - 1), 1 << nx, _BRUTE_FORCE_CHUNK):
+        stop = min(start + _BRUTE_FORCE_CHUNK, 1 << nx)
+        patterns = np.arange(start, stop, dtype=np.int64)
+        yield np.where((patterns[:, None] >> bits) & 1, 1.0, -1.0)
+
 
 @dataclass(frozen=True)
 class XORGame:
@@ -82,8 +101,11 @@ class XORGame:
     def classical_bias(self) -> float:
         """Exact classical bias by brute force over Alice's sign vectors.
 
-        For each of Alice's ``2^nx`` sign assignments, Bob's optimum is the
-        column-wise sign match, so the cost is ``O(2^nx * nx * ny)``.
+        For each of Alice's sign assignments, Bob's optimum is the
+        column-wise sign match. The ``2^(nx-1)`` assignments surviving
+        the global-flip symmetry are enumerated as chunked sign
+        matrices, one matmul per chunk, so the cost is a handful of
+        ``O(chunk * nx * ny)`` BLAS calls instead of a Python loop.
         """
         w = self.cost_matrix()
         nx = self.num_inputs_a
@@ -92,15 +114,8 @@ class XORGame:
                 f"brute force over 2^{nx} assignments is not tractable"
             )
         best = -np.inf
-        # Enumerate sign vectors via bit patterns of an integer counter.
-        for pattern in range(1 << (nx - 1), 1 << nx):
-            # Fix the leading sign to +1 (global flip symmetry) by only
-            # enumerating patterns whose top bit is set.
-            signs = np.where(
-                (pattern >> np.arange(nx)) & 1, 1.0, -1.0
-            )
-            col = signs @ w
-            best = max(best, float(np.abs(col).sum()))
+        for signs in _sign_chunks(nx):
+            best = max(best, float(np.abs(signs @ w).sum(axis=1).max()))
         return best
 
     def classical_value(self) -> float:
@@ -108,7 +123,14 @@ class XORGame:
         return (1.0 + self.classical_bias()) / 2.0
 
     def best_classical_assignment(self) -> tuple[np.ndarray, np.ndarray]:
-        """An optimal deterministic strategy as ±1 sign vectors."""
+        """An optimal deterministic strategy as ±1 sign vectors.
+
+        Enumerates the same ``2^(nx-1)`` global-flip-reduced sign
+        vectors as :meth:`classical_bias` (Alice's leading sign is fixed
+        to +1), so the achieved bias always equals ``classical_bias()``
+        exactly; the dropped half are the jointly-flipped duplicates,
+        which play identically in an XOR game.
+        """
         w = self.cost_matrix()
         nx = self.num_inputs_a
         if nx > 24:
@@ -117,12 +139,12 @@ class XORGame:
             )
         best = -np.inf
         best_signs: np.ndarray | None = None
-        for pattern in range(1 << nx):
-            signs = np.where((pattern >> np.arange(nx)) & 1, 1.0, -1.0)
-            value = float(np.abs(signs @ w).sum())
-            if value > best:
-                best = value
-                best_signs = signs
+        for signs in _sign_chunks(nx):
+            values = np.abs(signs @ w).sum(axis=1)
+            index = int(values.argmax())
+            if values[index] > best:
+                best = float(values[index])
+                best_signs = signs[index]
         assert best_signs is not None
         col = best_signs @ w
         bob = np.where(col >= 0, 1.0, -1.0)

@@ -20,8 +20,10 @@ from repro.lb.policies import (
     RoundRobinAssignment,
     SameTypePairedAssignment,
 )
+from repro.lb.engine import vectorization_unsupported_reason
 from repro.lb.simulation import (
     SERVICE_DISCIPLINES,
+    SIMULATION_ENGINES,
     SimulationResult,
     run_timestep_simulation,
 )
@@ -50,8 +52,10 @@ __all__ = [
     "RoundRobinAssignment",
     "SameTypePairedAssignment",
     "SERVICE_DISCIPLINES",
+    "SIMULATION_ENGINES",
     "SimulationResult",
     "run_timestep_simulation",
+    "vectorization_unsupported_reason",
     "LoadSweepPoint",
     "knee_load",
     "sweep_load",

@@ -1,0 +1,217 @@
+"""Batched numpy engine for the Fig 4 timestep simulation.
+
+The reference engine in :mod:`repro.lb.simulation` interprets every
+timestep in Python: per-balancer policy draws, per-server tuple-deques,
+and O(queue) ``_find`` scans that go quadratic once the system is
+overloaded. This module replaces that inner loop for the policy /
+discipline / workload combinations that vectorize:
+
+1. **Batched workload** — the workload draws its whole ``(steps, N)``
+   task matrix up front (``draw_batch``).
+2. **Batched policy** — the policy maps the task matrix to a
+   ``(steps, N)`` server-choice matrix in one shot (``assign_batch``).
+   Feedback policies (e.g. power-of-two choices) cannot do this and
+   fall back to the reference loop under ``engine="auto"``.
+3. **Array server model** — per-(server, type) counts of queued tasks
+   indexed by arrival step, with monotone head pointers, replace the
+   deques. The "paper" and "serial" disciplines serve FIFO *within*
+   type, so the count arrays reproduce the deque semantics exactly,
+   including per-task wait accounting. The "fifo" discipline interleaves
+   types at the head of line and stays on the reference engine.
+
+Metric equivalence: for a fixed task and choice matrix the array model
+serves the same multiset of (type, arrival-step) tasks each step as the
+deques, so ``SimulationResult`` is bit-identical. Policies whose batched
+draws consume the RNG exactly like their sequential draws (uniform
+random, round robin) are therefore per-seed identical across engines;
+the paired-game and dedicated-pool policies draw in a different order
+and match in distribution instead (see ``docs/reproducing.md``).
+
+Memory: the count arrays are ``2 * num_servers * timesteps`` int32
+entries, e.g. ~0.8 MB for the Fig 4 point (M=50, T=2000).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["vectorization_unsupported_reason", "run_vectorized", "VECTORIZED_DISCIPLINES"]
+
+#: Service disciplines the array server model reproduces exactly.
+VECTORIZED_DISCIPLINES = ("paper", "serial")
+
+
+def vectorization_unsupported_reason(policy, workload, discipline) -> str | None:
+    """Why this (policy, workload, discipline) cannot vectorize, or None.
+
+    ``engine="auto"`` falls back to the reference loop whenever this
+    returns a reason; ``engine="vectorized"`` raises it.
+    """
+    if discipline not in VECTORIZED_DISCIPLINES:
+        return (
+            f"discipline {discipline!r} interleaves task types at the head "
+            f"of line; vectorized supports {VECTORIZED_DISCIPLINES}"
+        )
+    if not hasattr(workload, "draw_batch"):
+        return f"workload {type(workload).__name__} has no draw_batch"
+    if not policy.supports_batch():
+        return f"policy {type(policy).__name__} has no assign_batch"
+    if policy.needs_queue_feedback():
+        return (
+            f"policy {type(policy).__name__} consumes per-step queue "
+            "feedback (observe_queues)"
+        )
+    return None
+
+
+def _advance_heads(counts, heads, mask):
+    """Move each masked server's head to its first nonzero count.
+
+    Heads only move forward, so the total advance over a run is bounded
+    by ``timesteps`` per server — amortized O(1) per serve.
+    """
+    selected = np.flatnonzero(mask)
+    while selected.size:
+        stale = counts[selected, heads[selected]] == 0
+        if not stale.any():
+            return
+        selected = selected[stale]
+        heads[selected] += 1
+
+
+def _pop_earliest(counts, heads, totals, mask, now):
+    """Serve one earliest-arrival task per masked server.
+
+    Returns ``(count_served, wait_sum)`` for the step's accounting.
+    """
+    if not mask.any():
+        return 0, 0
+    _advance_heads(counts, heads, mask)
+    servers = np.flatnonzero(mask)
+    arrivals = heads[servers]
+    counts[servers, arrivals] -= 1
+    totals[servers] -= 1
+    return servers.size, int((now - arrivals).sum())
+
+
+def run_vectorized(
+    policy,
+    workload,
+    workload_rng,
+    policy_rng,
+    *,
+    timesteps: int,
+    discipline: str,
+    warmup: int,
+    max_total_queue: float,
+):
+    """Run the batched engine; returns a ``SimulationResult``.
+
+    The caller (:func:`repro.lb.simulation.run_timestep_simulation`)
+    validates arguments and checks support via
+    :func:`vectorization_unsupported_reason` first.
+    """
+    from repro.lb.simulation import SimulationResult
+
+    num_servers = policy.num_servers
+    num_balancers = policy.num_balancers
+
+    task_bits = np.asarray(workload.draw_batch(workload_rng, timesteps))
+    if task_bits.shape != (timesteps, num_balancers):
+        raise ConfigurationError(
+            f"workload batch shape {task_bits.shape} != "
+            f"({timesteps}, {num_balancers})"
+        )
+    choices = np.asarray(policy.assign_batch(task_bits, policy_rng))
+    if choices.shape != task_bits.shape:
+        raise ConfigurationError(
+            f"policy batch shape {choices.shape} != {task_bits.shape}"
+        )
+    if ((choices < 0) | (choices >= num_servers)).any():
+        bad = choices[(choices < 0) | (choices >= num_servers)].ravel()[0]
+        raise ConfigurationError(f"policy chose invalid server {int(bad)}")
+
+    # Pre-aggregate per-step, per-server arrival counts by type: one
+    # bincount per type over (step, server) cells for the whole run.
+    step_index = np.repeat(np.arange(timesteps), num_balancers)
+    cell = step_index * num_servers + choices.ravel()
+    is_c = task_bits.ravel() != 0
+    arrivals_c = np.bincount(
+        cell[is_c], minlength=timesteps * num_servers
+    ).reshape(timesteps, num_servers)
+    arrivals_e = np.bincount(
+        cell[~is_c], minlength=timesteps * num_servers
+    ).reshape(timesteps, num_servers)
+
+    # Array server model: queued-task counts per (server, arrival step)
+    # and per type, with heads tracking each server's earliest queued
+    # arrival step (FIFO within type).
+    counts_c = np.zeros((num_servers, timesteps), dtype=np.int32)
+    counts_e = np.zeros((num_servers, timesteps), dtype=np.int32)
+    head_c = np.zeros(num_servers, dtype=np.int64)
+    head_e = np.zeros(num_servers, dtype=np.int64)
+    queued_c = np.zeros(num_servers, dtype=np.int64)
+    queued_e = np.zeros(num_servers, dtype=np.int64)
+
+    total_queued = 0
+    queue_length_sum = 0.0
+    wait_sum = 0
+    served = 0
+    wait_count = 0
+    arrived = 0
+    measured_steps = 0
+    serve_two_c = discipline == "paper"
+
+    for step in range(timesteps):
+        step_c = arrivals_c[step]
+        step_e = arrivals_e[step]
+        # Fast-forward empty servers' heads to this step before the new
+        # arrivals land, so heads never rescan long-gone history.
+        head_c[queued_c == 0] = step
+        head_e[queued_e == 0] = step
+        counts_c[:, step] = step_c
+        counts_e[:, step] = step_e
+        queued_c += step_c
+        queued_e += step_e
+
+        have_c = queued_c > 0
+        step_served, step_wait = _pop_earliest(
+            counts_c, head_c, queued_c, have_c, step
+        )
+        if serve_two_c:
+            second = have_c & (queued_c > 0)
+            extra_served, extra_wait = _pop_earliest(
+                counts_c, head_c, queued_c, second, step
+            )
+            step_served += extra_served
+            step_wait += extra_wait
+        only_e = ~have_c & (queued_e > 0)
+        e_served, e_wait = _pop_earliest(
+            counts_e, head_e, queued_e, only_e, step
+        )
+        step_served += e_served
+        step_wait += e_wait
+
+        total_queued += num_balancers - step_served
+        if step >= warmup:
+            arrived += num_balancers
+            served += step_served
+            wait_sum += step_wait
+            wait_count += step_served
+            queue_length_sum += total_queued / num_servers
+            measured_steps += 1
+        if total_queued > max_total_queue:
+            break
+
+    mean_queue = queue_length_sum / max(1, measured_steps)
+    mean_wait = wait_sum / wait_count if wait_count else 0.0
+    return SimulationResult(
+        mean_queue_length=mean_queue,
+        mean_queueing_delay=mean_wait,
+        served=served,
+        arrived=arrived,
+        timesteps=measured_steps,
+        load=num_balancers / num_servers,
+    )

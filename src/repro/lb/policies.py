@@ -72,14 +72,52 @@ class AssignmentPolicy:
         except through the structured pair protocols."""
         raise NotImplementedError
 
+    def assign_batch(
+        self, tasks: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Batched :meth:`assign`: map a ``(steps, N)`` integer task
+        matrix (``TaskType.bit`` encoding, or game inputs for subtype
+        workloads) to a ``(steps, N)`` server-index matrix.
+
+        The base class has no batched form; the vectorized engine treats
+        that as "unsupported" and falls back to the per-step loop.
+        Implementations must draw all their randomness from ``rng`` up
+        front and leave any policy state as if ``steps`` sequential
+        :meth:`assign` calls had run, so runs can be continued by either
+        path. Per-seed equality with the sequential path is only
+        guaranteed where documented (see ``docs/reproducing.md``);
+        elsewhere the batched draw order differs and parity is
+        distributional.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no batched assignment"
+        )
+
+    def supports_batch(self) -> bool:
+        """Whether :meth:`assign_batch` has a vectorized implementation."""
+        return type(self).assign_batch is not AssignmentPolicy.assign_batch
+
     def observe_queues(self, queue_lengths: Sequence[int]) -> None:
         """Feedback hook; most policies ignore it."""
+
+    def needs_queue_feedback(self) -> bool:
+        """Whether :meth:`observe_queues` is overridden (feedback policy)."""
+        return type(self).observe_queues is not AssignmentPolicy.observe_queues
 
     def _check(self, tasks: Sequence[TaskType]) -> None:
         if len(tasks) != self.num_balancers:
             raise ConfigurationError(
                 f"{len(tasks)} tasks for {self.num_balancers} balancers"
             )
+
+    def _check_batch(self, tasks: np.ndarray) -> np.ndarray:
+        tasks = np.asarray(tasks)
+        if tasks.ndim != 2 or tasks.shape[1] != self.num_balancers:
+            raise ConfigurationError(
+                f"task matrix shape {tasks.shape} does not cover "
+                f"{self.num_balancers} balancers"
+            )
+        return tasks
 
 
 class RandomAssignment(AssignmentPolicy):
@@ -88,6 +126,12 @@ class RandomAssignment(AssignmentPolicy):
     def assign(self, tasks, rng):
         self._check(tasks)
         return list(rng.integers(0, self.num_servers, size=len(tasks)))
+
+    def assign_batch(self, tasks, rng):
+        tasks = self._check_batch(tasks)
+        # One bounded-integer fill consumes the bit stream exactly like
+        # per-step draws, so this is per-seed identical to assign().
+        return rng.integers(0, self.num_servers, size=tasks.shape)
 
 
 class RoundRobinAssignment(AssignmentPolicy):
@@ -103,6 +147,19 @@ class RoundRobinAssignment(AssignmentPolicy):
             self._next = rng.integers(0, self.num_servers, size=self.num_balancers)
         choices = [int(c) for c in self._next]
         self._next = (self._next + 1) % self.num_servers
+        return choices
+
+    def assign_batch(self, tasks, rng):
+        tasks = self._check_batch(tasks)
+        steps = tasks.shape[0]
+        if self._next is None:
+            self._next = rng.integers(0, self.num_servers, size=self.num_balancers)
+        # Deterministic after the start-offset draw, so per-seed
+        # identical to the sequential path.
+        choices = (
+            self._next[None, :] + np.arange(steps)[:, None]
+        ) % self.num_servers
+        self._next = (self._next + steps) % self.num_servers
         return choices
 
 
@@ -161,6 +218,18 @@ class DedicatedPoolAssignment(AssignmentPolicy):
                 choices.append(int(rng.integers(self.pool_size, self.num_servers)))
         return choices
 
+    def assign_batch(self, tasks, rng):
+        tasks = self._check_batch(tasks)
+        # One uniform draw per task, scaled into the pool for type-C
+        # (nonzero input) and into the remainder for type-E. The draw
+        # order differs from assign()'s conditional scalar draws, so
+        # parity with the sequential path is distributional.
+        uniform = rng.random(tasks.shape)
+        pool = self.pool_size
+        in_pool = (uniform * pool).astype(np.int64)
+        outside = pool + (uniform * (self.num_servers - pool)).astype(np.int64)
+        return np.where(tasks != 0, in_pool, outside)
+
 
 def _default_task_to_input(task) -> int:
     """Map a task to a game input: ints pass through, TaskType uses
@@ -207,6 +276,16 @@ class GamePairedAssignment(AssignmentPolicy):
         self._cumulative = behavior.reshape(
             behavior.shape[0], behavior.shape[1], 4
         ).cumsum(axis=2)
+        # Batched Born sampling: concatenate every (x, y) block's
+        # cumulative table, offsetting block k's entries by k, so one
+        # searchsorted over (block + u) resolves all pairs at once.
+        # Clipping each block at its offset + 1 keeps the flat table
+        # sorted even when float error pushes a cumsum above 1.
+        num_blocks = self._num_inputs[0] * self._num_inputs[1]
+        self._flat_cumulative = (
+            np.arange(num_blocks)[:, None]
+            + np.minimum(self._cumulative.reshape(num_blocks, 4), 1.0)
+        ).ravel()
         self._task_to_input = task_to_input or _default_task_to_input
         # Pair-selection policy (DESIGN.md ablation): by default each
         # pair draws a fresh random server pair every round; sticky pairs
@@ -251,6 +330,63 @@ class GamePairedAssignment(AssignmentPolicy):
             choices[j] = pair[b]
         if len(tasks) % 2 == 1:
             choices[-1] = int(rng.integers(0, self.num_servers))
+        return choices
+
+    def _server_pair_batch(
+        self, steps: int, num_pairs: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-round ``(s0, s1)`` server draws for every pair, batched."""
+        if self._sticky:
+            missing = [
+                k for k in range(num_pairs) if k not in self._sticky_servers
+            ]
+            if missing:
+                s0_new = rng.integers(0, self.num_servers, size=len(missing))
+                s1_new = rng.integers(0, self.num_servers - 1, size=len(missing))
+                s1_new = s1_new + (s1_new >= s0_new)
+                for k, a, b in zip(missing, s0_new, s1_new):
+                    self._sticky_servers[k] = (int(a), int(b))
+            fixed = np.array(
+                [self._sticky_servers[k] for k in range(num_pairs)],
+                dtype=np.int64,
+            )
+            s0 = np.broadcast_to(fixed[:, 0], (steps, num_pairs))
+            s1 = np.broadcast_to(fixed[:, 1], (steps, num_pairs))
+            return s0, s1
+        s0 = rng.integers(0, self.num_servers, size=(steps, num_pairs))
+        s1 = rng.integers(0, self.num_servers - 1, size=(steps, num_pairs))
+        s1 = s1 + (s1 >= s0)
+        return s0, s1
+
+    def assign_batch(self, tasks, rng):
+        tasks = self._check_batch(tasks).astype(np.int64)
+        steps, n = tasks.shape
+        num_pairs = n // 2
+        choices = np.empty((steps, n), dtype=np.int64)
+        if num_pairs:
+            x = tasks[:, 0 : 2 * num_pairs : 2]
+            y = tasks[:, 1 : 2 * num_pairs : 2]
+            nx, ny = self._num_inputs
+            if ((x < 0) | (x >= nx) | (y < 0) | (y >= ny)).any():
+                raise StrategyError(
+                    "task inputs outside the strategy's alphabet"
+                )
+            s0, s1 = self._server_pair_batch(steps, num_pairs, rng)
+            # Born-rule outcomes: one searchsorted over the flat
+            # per-block cumulative table (see __init__), matching the
+            # sequential path's per-pair searchsorted exactly.
+            block = x * ny + y
+            uniform = rng.random((steps, num_pairs))
+            position = np.searchsorted(
+                self._flat_cumulative, block + uniform, side="right"
+            )
+            outcome = np.minimum(position - 4 * block, 3)
+            out_a = outcome >> 1
+            out_b = outcome & 1
+            choices[:, 0 : 2 * num_pairs : 2] = np.where(out_a == 0, s0, s1)
+            choices[:, 1 : 2 * num_pairs : 2] = np.where(out_b == 0, s0, s1)
+        if n % 2 == 1:
+            choices[:, -1] = rng.integers(0, self.num_servers, size=steps)
         return choices
 
 

@@ -28,7 +28,14 @@ __all__ = [
     "SimulationResult",
     "run_timestep_simulation",
     "SERVICE_DISCIPLINES",
+    "SIMULATION_ENGINES",
 ]
+
+#: Engine selectors for :func:`run_timestep_simulation`. "reference" is
+#: the interpreted deque loop (the oracle), "vectorized" the batched
+#: numpy engine in :mod:`repro.lb.engine`, and "auto" picks vectorized
+#: whenever the (policy, workload, discipline) combination supports it.
+SIMULATION_ENGINES = ("auto", "reference", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -132,6 +139,7 @@ def run_timestep_simulation(
     warmup_fraction: float = 0.2,
     max_total_queue: float = float("inf"),
     workload=None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run the Fig 4 experiment for one policy and return its metrics.
 
@@ -149,7 +157,14 @@ def run_timestep_simulation(
         workload: optional draw-compatible workload (e.g. a
             :class:`~repro.net.trace.TraceReplayer`) replacing the
             Bernoulli mix; must cover the policy's balancer count.
+        engine: one of :data:`SIMULATION_ENGINES`. "auto" (default) uses
+            the batched numpy engine when the policy, workload, and
+            discipline all support it, else the reference deque loop;
+            see :mod:`repro.lb.engine` for the support matrix and
+            docs/reproducing.md for how per-seed values relate.
     """
+    from repro.lb import engine as _engine_mod
+
     if timesteps < 1:
         raise ConfigurationError("need at least one timestep")
     if not 0.0 <= warmup_fraction < 1.0:
@@ -158,6 +173,10 @@ def run_timestep_simulation(
         raise ConfigurationError(
             f"unknown discipline {discipline!r}; "
             f"options: {sorted(SERVICE_DISCIPLINES)}"
+        )
+    if engine not in SIMULATION_ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; options: {SIMULATION_ENGINES}"
         )
     serve = SERVICE_DISCIPLINES[discipline]
     num_servers = policy.num_servers
@@ -171,14 +190,32 @@ def run_timestep_simulation(
     streams = RandomStreams(seed)
     workload_rng = streams.stream("workload")
     policy_rng = streams.stream("policy")
+    warmup = int(timesteps * warmup_fraction)
+
+    reason = _engine_mod.vectorization_unsupported_reason(
+        policy, workload, discipline
+    )
+    if engine == "vectorized" and reason is not None:
+        raise ConfigurationError(f"vectorized engine unsupported: {reason}")
+    if engine != "reference" and reason is None:
+        return _engine_mod.run_vectorized(
+            policy,
+            workload,
+            workload_rng,
+            policy_rng,
+            timesteps=timesteps,
+            discipline=discipline,
+            warmup=warmup,
+            max_total_queue=max_total_queue,
+        )
 
     queues: list[deque] = [deque() for _ in range(num_servers)]
-    warmup = int(timesteps * warmup_fraction)
     queue_length_sum = 0.0
     waits: list[int] = []
     served = 0
     arrived = 0
     measured_steps = 0
+    wants_feedback = policy.needs_queue_feedback()
 
     for step in range(timesteps):
         measuring = step >= warmup
@@ -197,12 +234,14 @@ def run_timestep_simulation(
             served_here = serve(queue, step, step_waits)
             if measuring:
                 served += served_here
+        total_queued = sum(len(q) for q in queues)
         if measuring:
             waits.extend(step_waits)
-            queue_length_sum += sum(len(q) for q in queues) / num_servers
+            queue_length_sum += total_queued / num_servers
             measured_steps += 1
-        policy.observe_queues([len(q) for q in queues])
-        if sum(len(q) for q in queues) > max_total_queue:
+        if wants_feedback:
+            policy.observe_queues([len(q) for q in queues])
+        if total_queued > max_total_queue:
             break
 
     mean_queue = queue_length_sum / max(1, measured_steps)

@@ -57,6 +57,7 @@ def _run_load_point(config, seed: int) -> SimulationResult:
         seed=seed,
         discipline=config["discipline"],
         p_colocate=config["p_colocate"],
+        engine=config.get("engine", "auto"),
     )
 
 
@@ -73,6 +74,7 @@ def sweep_load_detailed(
     cache=False,
     cache_dir=None,
     progress=None,
+    engine: str = "auto",
 ) -> tuple[list[LoadSweepPoint], RunReport]:
     """Like :func:`sweep_load`, also returning the execution report."""
     if not loads:
@@ -113,6 +115,7 @@ def sweep_load_detailed(
                     "timesteps": timesteps,
                     "discipline": discipline,
                     "p_colocate": p_colocate,
+                    "engine": engine,
                 },
                 seed,
             )
@@ -144,6 +147,7 @@ def sweep_load(
     cache=False,
     cache_dir=None,
     progress=None,
+    engine: str = "auto",
 ) -> list[LoadSweepPoint]:
     """Run the Fig 4 experiment across a load (``N/M``) sweep.
 
@@ -165,6 +169,7 @@ def sweep_load(
         cache=cache,
         cache_dir=cache_dir,
         progress=progress,
+        engine=engine,
     )
     return points
 

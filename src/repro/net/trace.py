@@ -142,6 +142,34 @@ class TraceReplayer:
         self._cursor += 1
         return list(tasks)
 
+    def draw_batch(self, rng: np.random.Generator, steps: int) -> np.ndarray:
+        """The next ``steps`` rounds as a ``(steps, N)`` bit matrix.
+
+        Bit encoding follows :attr:`~repro.net.packet.TaskType.bit`
+        (1 = type-C). Advances the replay cursor by ``steps`` so batched
+        and per-step replays interleave consistently; cycling wraps
+        around exactly like repeated :meth:`draw` calls, and a
+        non-cycling replayer raises when the trace cannot cover the
+        batch.
+        """
+        if steps < 1:
+            raise ConfigurationError("need at least one timestep")
+        num_rounds = self._trace.num_rounds
+        bits = np.array(
+            [[t.bit for t in r] for r in self._trace.rounds], dtype=np.uint8
+        )
+        if self._cycle:
+            index = (self._cursor + np.arange(steps)) % num_rounds
+            self._cursor = int((self._cursor + steps) % num_rounds)
+            return bits[index]
+        if self._cursor + steps > num_rounds:
+            raise ConfigurationError(
+                f"trace exhausted after {num_rounds} rounds"
+            )
+        start = self._cursor
+        self._cursor += steps
+        return bits[start : start + steps]
+
 
 def record_bernoulli_trace(
     num_balancers: int,

@@ -35,6 +35,19 @@ class BernoulliTaskMix:
         bits = rng.random(self.num_balancers) < self.p_colocate
         return [TaskType.COLOCATE if b else TaskType.EXCLUSIVE for b in bits]
 
+    def draw_batch(self, rng: np.random.Generator, steps: int) -> np.ndarray:
+        """``steps`` timesteps of tasks as a ``(steps, N)`` bit matrix.
+
+        Entries use the :attr:`~repro.net.packet.TaskType.bit` encoding
+        (1 = type-C). The batch consumes ``rng`` exactly like ``steps``
+        successive :meth:`draw` calls (uniform doubles fill row-major),
+        so batched and per-step workloads see identical task streams.
+        """
+        if steps < 1:
+            raise ConfigurationError("need at least one timestep")
+        bits = rng.random((steps, self.num_balancers)) < self.p_colocate
+        return bits.astype(np.uint8)
+
     def draw_requests(
         self, rng: np.random.Generator, time: float = 0.0
     ) -> list[Request]:

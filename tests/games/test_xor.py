@@ -92,6 +92,50 @@ class TestClassicalValues:
         with pytest.raises(GameError):
             XORGame("big", dist, np.zeros((n, 2), dtype=int)).classical_bias()
 
+    def test_brute_force_guard_on_assignment(self):
+        n = 25
+        dist = np.full((n, 2), 1.0 / (2 * n))
+        game = XORGame("big", dist, np.zeros((n, 2), dtype=int))
+        with pytest.raises(GameError):
+            game.best_classical_assignment()
+
+    @staticmethod
+    def loop_classical_bias(game: XORGame) -> float:
+        """The pre-vectorization per-pattern loop, kept as the oracle."""
+        w = game.cost_matrix()
+        nx = game.num_inputs_a
+        best = -np.inf
+        for pattern in range(1 << (nx - 1), 1 << nx):
+            signs = np.where((pattern >> np.arange(nx)) & 1, 1.0, -1.0)
+            best = max(best, float(np.abs(signs @ w).sum()))
+        return best
+
+    def test_vectorized_bias_matches_loop_on_random_games(self):
+        rng = np.random.default_rng(17)
+        for nx, ny in [(1, 1), (2, 3), (4, 4), (5, 2), (7, 3)]:
+            dist = rng.dirichlet(np.ones(nx * ny)).reshape(nx, ny)
+            targets = rng.integers(0, 2, size=(nx, ny))
+            game = XORGame("rand", dist, targets)
+            assert game.classical_bias() == pytest.approx(
+                self.loop_classical_bias(game), abs=1e-12
+            )
+
+    def test_assignment_consistent_with_bias_on_random_games(self):
+        """Regression: both brute forces now enumerate the same
+        global-flip-reduced pattern set, so the best assignment always
+        achieves classical_bias exactly (and Alice's leading sign is the
+        fixed +1 representative)."""
+        rng = np.random.default_rng(23)
+        for _ in range(10):
+            nx, ny = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+            dist = rng.dirichlet(np.ones(nx * ny)).reshape(nx, ny)
+            targets = rng.integers(0, 2, size=(nx, ny))
+            game = XORGame("rand", dist, targets)
+            alice, bob = game.best_classical_assignment()
+            achieved = float(alice @ game.cost_matrix() @ bob)
+            assert achieved == pytest.approx(game.classical_bias(), abs=1e-12)
+            assert alice[-1] == 1.0
+
     def test_win_probability_of_bias(self):
         game = XORGame.chsh()
         assert game.win_probability_of_bias(0.5) == pytest.approx(0.75)

@@ -1,0 +1,326 @@
+"""Parity suite: the vectorized engine vs the reference deque loop.
+
+Two grades of parity, matching the engines' contract:
+
+- **Exact** — policies whose batched draws consume the RNG identically
+  to their sequential draws (uniform random, round robin) must produce
+  bit-identical ``SimulationResult`` values, including early stops and
+  trace replays.
+- **Distributional** — the paired-game and dedicated-pool policies draw
+  in a different order when batched; across seeds their per-metric 95%
+  confidence intervals must overlap the reference engine's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    DedicatedPoolAssignment,
+    GamePairedAssignment,
+    PowerOfTwoAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+    SameTypePairedAssignment,
+    SIMULATION_ENGINES,
+    run_timestep_simulation,
+    vectorization_unsupported_reason,
+)
+from repro.net.trace import record_bernoulli_trace
+from repro.net.workload import BernoulliTaskMix
+
+EXACT_POLICIES = [RandomAssignment, RoundRobinAssignment]
+STOCHASTIC_POLICIES = [
+    DedicatedPoolAssignment,
+    ClassicalPairedAssignment,
+    SameTypePairedAssignment,
+    CHSHPairedAssignment,
+]
+VEC_DISCIPLINES = ["paper", "serial"]
+
+
+def run_pair(policy_factory, *, n=20, m=12, timesteps=240, seed=0, **kwargs):
+    reference = run_timestep_simulation(
+        policy_factory(n, m), timesteps=timesteps, seed=seed,
+        engine="reference", **kwargs,
+    )
+    vectorized = run_timestep_simulation(
+        policy_factory(n, m), timesteps=timesteps, seed=seed,
+        engine="vectorized", **kwargs,
+    )
+    return reference, vectorized
+
+
+def confidence_interval(values):
+    values = np.asarray(values, dtype=float)
+    half = 1.96 * values.std(ddof=1) / np.sqrt(len(values))
+    return values.mean() - half, values.mean() + half
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("policy_factory", EXACT_POLICIES)
+    @pytest.mark.parametrize("discipline", VEC_DISCIPLINES)
+    def test_bit_identical(self, policy_factory, discipline):
+        for seed in range(5):
+            reference, vectorized = run_pair(
+                policy_factory, discipline=discipline, seed=seed
+            )
+            assert reference == vectorized
+
+    def test_odd_balancer_count(self):
+        reference, vectorized = run_pair(RandomAssignment, n=13, m=7, seed=3)
+        assert reference == vectorized
+
+    def test_single_server_pool(self):
+        reference, vectorized = run_pair(RandomAssignment, n=9, m=1, seed=2)
+        assert reference == vectorized
+
+    def test_max_total_queue_early_stop(self):
+        reference, vectorized = run_pair(
+            RandomAssignment, n=60, m=4, timesteps=3000, seed=5,
+            max_total_queue=400.0,
+        )
+        assert reference == vectorized
+        assert vectorized.timesteps < 2400  # it actually stopped early
+
+    def test_trace_workload(self):
+        trace = record_bernoulli_trace(15, 300, np.random.default_rng(7))
+        reference = run_timestep_simulation(
+            RandomAssignment(15, 8), timesteps=300, seed=1,
+            workload=trace.replayer(), engine="reference",
+        )
+        vectorized = run_timestep_simulation(
+            RandomAssignment(15, 8), timesteps=300, seed=1,
+            workload=trace.replayer(), engine="vectorized",
+        )
+        assert reference == vectorized
+
+    def test_cycled_trace_workload(self):
+        trace = record_bernoulli_trace(10, 40, np.random.default_rng(8))
+        reference = run_timestep_simulation(
+            RandomAssignment(10, 6), timesteps=150, seed=1,
+            workload=trace.replayer(cycle=True), engine="reference",
+        )
+        vectorized = run_timestep_simulation(
+            RandomAssignment(10, 6), timesteps=150, seed=1,
+            workload=trace.replayer(cycle=True), engine="vectorized",
+        )
+        assert reference == vectorized
+
+    def test_exhausted_trace_raises_in_batch(self):
+        trace = record_bernoulli_trace(10, 40, np.random.default_rng(8))
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            run_timestep_simulation(
+                RandomAssignment(10, 6), timesteps=150, seed=1,
+                workload=trace.replayer(), engine="vectorized",
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=17),
+        m=st.integers(min_value=1, max_value=9),
+        timesteps=st.integers(min_value=1, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+        discipline=st.sampled_from(VEC_DISCIPLINES),
+        p_colocate=st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+    )
+    def test_property_parity(self, n, m, timesteps, seed, discipline, p_colocate):
+        reference, vectorized = run_pair(
+            RandomAssignment, n=n, m=m, timesteps=timesteps, seed=seed,
+            discipline=discipline, p_colocate=p_colocate,
+        )
+        assert reference == vectorized
+
+
+class TestDistributionalParity:
+    @pytest.mark.parametrize("policy_factory", STOCHASTIC_POLICIES)
+    @pytest.mark.parametrize("discipline", VEC_DISCIPLINES)
+    def test_confidence_intervals_overlap(self, policy_factory, discipline):
+        metrics = {"reference": [], "vectorized": []}
+        for seed in range(20):
+            reference, vectorized = run_pair(
+                policy_factory, discipline=discipline, seed=seed,
+                timesteps=200,
+            )
+            metrics["reference"].append(reference.mean_queue_length)
+            metrics["vectorized"].append(vectorized.mean_queue_length)
+        ref_low, ref_high = confidence_interval(metrics["reference"])
+        vec_low, vec_high = confidence_interval(metrics["vectorized"])
+        assert ref_low <= vec_high and vec_low <= ref_high, (
+            f"{policy_factory.__name__}/{discipline}: reference CI "
+            f"[{ref_low:.3f}, {ref_high:.3f}] vs vectorized "
+            f"[{vec_low:.3f}, {vec_high:.3f}]"
+        )
+
+    def test_odd_balancers_paired_policy(self):
+        ref_values, vec_values = [], []
+        for seed in range(20):
+            reference, vectorized = run_pair(
+                CHSHPairedAssignment, n=15, m=9, timesteps=200, seed=seed
+            )
+            ref_values.append(reference.mean_queue_length)
+            vec_values.append(vectorized.mean_queue_length)
+        ref_low, ref_high = confidence_interval(ref_values)
+        vec_low, vec_high = confidence_interval(vec_values)
+        assert ref_low <= vec_high and vec_low <= ref_high
+
+    def test_sticky_pairs_stay_fixed_in_batch(self):
+        policy = CHSHPairedAssignment(12, 8)
+        policy._sticky = True
+        tasks = BernoulliTaskMix(12).draw_batch(np.random.default_rng(0), 50)
+        choices = policy.assign_batch(tasks, np.random.default_rng(1))
+        for pair in range(6):
+            used = set(choices[:, 2 * pair]) | set(choices[:, 2 * pair + 1])
+            assert used == set(policy._sticky_servers[pair])
+
+    def test_batch_outcomes_match_behavior_table(self):
+        """Born sampling via the flat searchsorted reproduces p(a,b|x,y)."""
+        policy = CHSHPairedAssignment(2, 2)
+        rng = np.random.default_rng(5)
+        tasks = np.ones((4000, 2), dtype=np.uint8)  # both type-C: x=y=1
+        choices = policy.assign_batch(tasks, rng)
+        colocated = (choices[:, 0] == choices[:, 1]).mean()
+        behavior = policy._cumulative[1, 1]
+        p_same = behavior[0] + (behavior[3] - behavior[2])  # p00 + p11
+        assert colocated == pytest.approx(p_same, abs=0.03)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            run_timestep_simulation(
+                RandomAssignment(4, 4), timesteps=10, engine="warp"
+            )
+        assert set(SIMULATION_ENGINES) == {"auto", "reference", "vectorized"}
+
+    def test_feedback_policy_falls_back_cleanly(self):
+        """engine='auto' must route PowerOfTwoAssignment through the
+        reference loop (it needs per-step queue observations)."""
+        auto = run_timestep_simulation(
+            PowerOfTwoAssignment(12, 8), timesteps=120, seed=4, engine="auto"
+        )
+        reference = run_timestep_simulation(
+            PowerOfTwoAssignment(12, 8), timesteps=120, seed=4,
+            engine="reference",
+        )
+        assert auto == reference
+
+    def test_feedback_policy_vectorized_raises(self):
+        with pytest.raises(ConfigurationError, match="assign_batch"):
+            run_timestep_simulation(
+                PowerOfTwoAssignment(12, 8), timesteps=120,
+                engine="vectorized",
+            )
+
+    def test_fifo_discipline_vectorized_raises(self):
+        with pytest.raises(ConfigurationError, match="discipline"):
+            run_timestep_simulation(
+                RandomAssignment(8, 4), timesteps=50, discipline="fifo",
+                engine="vectorized",
+            )
+
+    def test_fifo_auto_falls_back(self):
+        auto = run_timestep_simulation(
+            RandomAssignment(8, 4), timesteps=120, seed=2,
+            discipline="fifo", engine="auto",
+        )
+        reference = run_timestep_simulation(
+            RandomAssignment(8, 4), timesteps=120, seed=2,
+            discipline="fifo", engine="reference",
+        )
+        assert auto == reference
+
+    def test_unsupported_reason_reporting(self):
+        mix = BernoulliTaskMix(8)
+        assert vectorization_unsupported_reason(
+            RandomAssignment(8, 4), mix, "paper"
+        ) is None
+        assert "fifo" in vectorization_unsupported_reason(
+            RandomAssignment(8, 4), mix, "fifo"
+        )
+        assert "assign_batch" in vectorization_unsupported_reason(
+            PowerOfTwoAssignment(8, 4), mix, "paper"
+        )
+
+    def test_feedback_policy_still_observes_queues(self):
+        """Regression for the skip-when-no-op optimization: overriding
+        policies keep receiving per-step observations."""
+        calls = []
+
+        class Recorder(RandomAssignment):
+            def observe_queues(self, queue_lengths):
+                calls.append(list(queue_lengths))
+
+        run_timestep_simulation(Recorder(6, 4), timesteps=25, seed=1)
+        assert len(calls) == 25
+        assert all(len(c) == 4 for c in calls)
+
+
+class TestBatchedWorkloads:
+    def test_bernoulli_batch_matches_sequential(self):
+        mix = BernoulliTaskMix(11, 0.4)
+        batch = mix.draw_batch(np.random.default_rng(3), 25)
+        sequential_rng = np.random.default_rng(3)
+        sequential = np.array(
+            [[t.bit for t in mix.draw(sequential_rng)] for _ in range(25)]
+        )
+        assert np.array_equal(batch, sequential)
+
+    def test_batch_validation(self):
+        mix = BernoulliTaskMix(5)
+        with pytest.raises(ConfigurationError):
+            mix.draw_batch(np.random.default_rng(0), 0)
+
+    def test_trace_batch_advances_cursor(self):
+        trace = record_bernoulli_trace(6, 30, np.random.default_rng(2))
+        replayer = trace.replayer()
+        rng = np.random.default_rng(0)
+        first = replayer.draw_batch(rng, 10)
+        second = replayer.draw_batch(rng, 10)
+        assert not np.array_equal(first, second)
+        # Interleaving a per-step draw continues from the cursor.
+        tasks = replayer.draw(rng)
+        assert [t.bit for t in tasks] == list(
+            np.array([t.bit for t in trace.rounds[20]])
+        )
+
+
+class TestBatchedPolicies:
+    def test_batch_shape_validation(self):
+        policy = RandomAssignment(6, 4)
+        with pytest.raises(ConfigurationError):
+            policy.assign_batch(np.zeros((5, 7), dtype=np.uint8),
+                                np.random.default_rng(0))
+
+    def test_base_policy_reports_no_batch(self):
+        assert not PowerOfTwoAssignment(4, 4).supports_batch()
+        assert RandomAssignment(4, 4).supports_batch()
+        assert PowerOfTwoAssignment(4, 4).needs_queue_feedback()
+        assert not RandomAssignment(4, 4).needs_queue_feedback()
+
+    def test_round_robin_batch_continues_sequential_state(self):
+        a, b = RoundRobinAssignment(5, 7), RoundRobinAssignment(5, 7)
+        rng_a, rng_b = np.random.default_rng(4), np.random.default_rng(4)
+        tasks = BernoulliTaskMix(5).draw_batch(np.random.default_rng(1), 6)
+        batch = a.assign_batch(tasks, rng_a)
+        for step in range(6):
+            sequential = b.assign(
+                [int(x) for x in tasks[step]], rng_b
+            )
+            assert list(batch[step]) == sequential
+        # both policies now agree on the next rotation
+        assert np.array_equal(a._next, b._next)
+
+    def test_paired_batch_rejects_alien_inputs(self):
+        from repro.errors import StrategyError
+
+        policy = CHSHPairedAssignment(4, 4)
+        bad = np.full((3, 4), 7, dtype=np.int64)
+        with pytest.raises(StrategyError):
+            policy.assign_batch(bad, np.random.default_rng(0))
