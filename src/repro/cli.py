@@ -63,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation engine: 'vectorized' forces the "
                       "batched numpy engine, 'reference' the deque loop, "
                       "'auto' picks per point (see docs/reproducing.md)")
+    fig4.add_argument("--fidelity", type=float, default=1.0,
+                      help="Werner fidelity of the shared pairs "
+                      "(default 1.0 = perfect Bell pairs)")
+    fig4.add_argument("--availability", type=float, default=1.0,
+                      help="probability a decision finds a live pair "
+                      "(default 1.0 = never degraded)")
+    fig4.add_argument("--outage", type=float, default=0.0,
+                      help="mean outage-burst length in timesteps; 0 "
+                      "(default) draws pair losses independently, > 0 "
+                      "switches to correlated Gilbert-Elliott bursts at "
+                      "the same availability")
+    fig4.add_argument("--measurement-error", type=float, default=0.0,
+                      help="per-QNIC detector flip probability applied "
+                      "to both parties (default 0.0)")
+    fig4.add_argument("--fallback", choices=("classical", "random"),
+                      default="classical",
+                      help="strategy a pair uses when its entangled pair "
+                      "is lost: best classical paired strategy (default) "
+                      "or uniform random routing")
 
     sub.add_parser("ecmp", help="§4.2 collision games and reduction")
 
@@ -144,18 +163,47 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
-    from repro.analysis import FigureData, format_figure
-    from repro.lb import CHSHPairedAssignment, RandomAssignment, sweep_load
+    from repro.analysis import FigureData, format_figure, format_table
+    from repro.lb import (
+        CHSHPairedAssignment,
+        RandomAssignment,
+        make_degraded_chsh,
+        sweep_load,
+    )
+
+    degraded = (
+        args.fidelity != 1.0
+        or args.availability != 1.0
+        or args.outage > 0.0
+        or args.measurement_error != 0.0
+    )
+    runs: list[tuple[str, object, dict | None]] = [
+        ("classical random", RandomAssignment, None)
+    ]
+    if degraded:
+        runs.append(
+            (
+                "quantum CHSH (degraded)",
+                make_degraded_chsh,
+                {
+                    "fidelity": args.fidelity,
+                    "availability": args.availability,
+                    "mean_outage_steps": args.outage,
+                    "fallback": args.fallback,
+                    "measurement_error": args.measurement_error,
+                },
+            )
+        )
+    else:
+        runs.append(("quantum CHSH", CHSHPairedAssignment, None))
 
     figure = FigureData(
         title=f"Fig 4: N={args.balancers}, {args.steps} steps",
         x_label="load N/M",
         y_label="mean queue length",
     )
-    for name, factory in (
-        ("classical random", RandomAssignment),
-        ("quantum CHSH", CHSHPairedAssignment),
-    ):
+    degradation_rows = []
+    for name, factory, policy_kwargs in runs:
         points = sweep_load(
             factory,
             num_balancers=args.balancers,
@@ -164,13 +212,49 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
             seed=args.seed,
             jobs=args.jobs,
             engine=args.engine,
+            policy_kwargs=policy_kwargs,
         )
         figure.add(
             name,
             [p.load for p in points],
             [p.result.mean_queue_length for p in points],
         )
+        for p in points:
+            report = p.result.degradation
+            if report is not None:
+                degradation_rows.append(
+                    [
+                        p.load,
+                        report.quantum_decision_rate,
+                        report.fallback_fraction,
+                        report.quantum_win_probability,
+                        report.fallback_win_probability,
+                        report.effective_win_probability,
+                    ]
+                )
     print(format_figure(figure))
+    if degradation_rows:
+        print()
+        print(
+            format_table(
+                [
+                    "load N/M",
+                    "quantum rate",
+                    "fallback frac",
+                    "P(win|quantum)",
+                    "P(win|fallback)",
+                    "P(win) effective",
+                ],
+                degradation_rows,
+                title="Degradation report "
+                f"(fidelity={args.fidelity}, "
+                f"availability={args.availability}, "
+                f"outage={args.outage}, "
+                f"meas. error={args.measurement_error}, "
+                f"fallback={args.fallback})",
+                float_format="{:.4f}",
+            )
+        )
 
 
 def _cmd_ecmp() -> None:

@@ -41,7 +41,9 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing cache entry at once.
-CACHE_VERSION = 1
+#: v2: SimulationResult grew a ``degradation`` field; cached pickles
+#: from v1 would deserialize without it and confuse consumers.
+CACHE_VERSION = 2
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit

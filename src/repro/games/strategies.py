@@ -32,6 +32,7 @@ from repro.quantum.state import DensityMatrix, StateVector
 
 __all__ = [
     "Strategy",
+    "BehaviorStrategy",
     "DeterministicStrategy",
     "SharedRandomnessStrategy",
     "QuantumStrategy",
@@ -53,6 +54,46 @@ class Strategy:
         """Exact conditional distribution ``p(a, b | x, y)``,
         shape ``(nx, ny, na, nb)``."""
         raise NotImplementedError
+
+
+class BehaviorStrategy(Strategy):
+    """A strategy given directly by its behavior ``p(a, b | x, y)``.
+
+    Wraps an explicit conditional-distribution table so derived
+    behaviors — e.g. a quantum strategy's statistics degraded by
+    detector noise (:func:`repro.hardware.qnic.apply_measurement_flips`)
+    — can flow through everything that samples from ``behavior()``
+    (notably the paired Fig 4 policies) without re-deriving states or
+    measurements. Only no-signaling tables describe physical strategies;
+    construction checks normalization, not no-signaling.
+    """
+
+    def __init__(self, behavior: np.ndarray) -> None:
+        table = np.asarray(behavior, dtype=float)
+        if table.ndim != 4:
+            raise StrategyError(
+                f"behavior must have shape (nx, ny, na, nb), got {table.shape}"
+            )
+        if (table < -1e-9).any():
+            raise StrategyError("behavior has negative probabilities")
+        sums = table.sum(axis=(2, 3))
+        if not np.allclose(sums, 1.0, atol=1e-7):
+            raise StrategyError(
+                "behavior rows must each sum to 1 over the output pairs"
+            )
+        self._behavior = table.clip(min=0.0)
+        self._behavior.flags.writeable = False
+
+    def behavior(self):
+        return self._behavior
+
+    def play(self, x, y, rng):
+        nx, ny, na, nb = self._behavior.shape
+        if not 0 <= x < nx or not 0 <= y < ny:
+            raise StrategyError(f"inputs ({x},{y}) outside behavior table")
+        flat = self._behavior[x, y].ravel()
+        index = int(rng.choice(flat.size, p=flat / flat.sum()))
+        return divmod(index, nb)
 
 
 @dataclass(frozen=True)

@@ -19,10 +19,15 @@ from repro.hardware.distribution import (
     EntanglementDistributor,
     FiberChannel,
 )
-from repro.hardware.qnic import QNIC, storage_depolarizing_probability
+from repro.hardware.qnic import (
+    QNIC,
+    apply_measurement_flips,
+    storage_depolarizing_probability,
+)
 from repro.hardware.scheduler import (
     analytic_pair_availability,
     effective_win_probability,
+    pair_availability_upper_bound,
     simulate_pair_availability,
 )
 from repro.hardware.source import SPDCSource
@@ -42,9 +47,11 @@ __all__ = [
     "EntanglementDistributor",
     "FiberChannel",
     "QNIC",
+    "apply_measurement_flips",
     "storage_depolarizing_probability",
     "analytic_pair_availability",
     "effective_win_probability",
+    "pair_availability_upper_bound",
     "simulate_pair_availability",
     "SPDCSource",
 ]

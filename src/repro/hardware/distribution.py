@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.errors import HardwareError
 from repro.hardware.qnic import QNIC
 from repro.hardware.source import SPDCSource
-from repro.quantum.channels import depolarizing
+from repro.quantum.channels import HeraldedErasure, depolarizing
 from repro.quantum.state import DensityMatrix
 
 __all__ = ["FiberChannel", "DistributedPair", "EntanglementDistributor"]
@@ -57,6 +57,12 @@ class FiberChannel:
     def depolarizing_probability(self) -> float:
         """Depolarizing noise accumulated over the span."""
         return min(1.0, self.depolarizing_per_km * self.length_m / 1000.0)
+
+    def heralded_erasure(self) -> HeraldedErasure:
+        """Span loss as a *heralded* erasure (detected by the missing
+        click), for protocols that branch on "pair lost" instead of
+        measuring a silently depolarized substitute."""
+        return HeraldedErasure(1.0 - self.survival_probability())
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,10 @@ class EntanglementDistributor:
             self.fiber_a.survival_probability()
             * self.fiber_b.survival_probability()
         )
+
+    def pair_erasure(self) -> HeraldedErasure:
+        """Loss of *either* photon as one heralded pair-level erasure."""
+        return HeraldedErasure(1.0 - self.pair_survival_probability())
 
     def delivered_pair_rate(self) -> float:
         """Usable pairs per second after fiber loss."""

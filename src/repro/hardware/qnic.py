@@ -12,11 +12,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import HardwareError
 from repro.quantum.channels import depolarizing
 from repro.quantum.state import DensityMatrix
 
-__all__ = ["QNIC", "storage_depolarizing_probability"]
+__all__ = [
+    "QNIC",
+    "storage_depolarizing_probability",
+    "apply_measurement_flips",
+]
 
 
 def storage_depolarizing_probability(duration: float, coherence_time: float) -> float:
@@ -92,3 +98,38 @@ class QNIC:
     def flip_probability(self) -> float:
         """Detector-noise outcome flip probability."""
         return self.measurement_error
+
+
+def apply_measurement_flips(
+    behavior: np.ndarray, error_a: float, error_b: float | None = None
+) -> np.ndarray:
+    """Degrade a behavior table ``p(a, b | x, y)`` by detector noise.
+
+    Each party's binary outcome is independently flipped with its QNIC's
+    :attr:`QNIC.measurement_error` probability *after* the measurement,
+    so the observable statistics are the true Born statistics convolved
+    with two binary symmetric channels:
+
+    ``p'(a, b | x, y) = sum_{a', b'} F_a[a, a'] F_b[b, b'] p(a', b' | x, y)``
+
+    with ``F[o, o'] = (1 - e)`` when ``o == o'`` and ``e`` otherwise.
+    This is the path the degraded Fig 4 policies measure through — the
+    knob was previously validated but never consumed.
+    """
+    if error_b is None:
+        error_b = error_a
+    for label, error in (("a", error_a), ("b", error_b)):
+        if not 0.0 <= error <= 0.5:
+            raise HardwareError(
+                f"measurement error {error} for party {label} outside [0, 0.5]"
+            )
+    behavior = np.asarray(behavior, dtype=float)
+    if behavior.ndim != 4 or behavior.shape[2] != 2 or behavior.shape[3] != 2:
+        raise HardwareError(
+            f"behavior shape {behavior.shape} is not (nx, ny, 2, 2)"
+        )
+    if error_a == 0.0 and error_b == 0.0:
+        return behavior
+    flip_a = np.array([[1.0 - error_a, error_a], [error_a, 1.0 - error_a]])
+    flip_b = np.array([[1.0 - error_b, error_b], [error_b, 1.0 - error_b]])
+    return np.einsum("xyab,ca,db->xycd", behavior, flip_a, flip_b)

@@ -26,30 +26,54 @@ from repro.errors import HardwareError
 __all__ = [
     "simulate_pair_availability",
     "analytic_pair_availability",
+    "pair_availability_upper_bound",
     "effective_win_probability",
 ]
+
+
+def pair_availability_upper_bound(
+    pair_rate: float, storage_limit: float
+) -> float:
+    """Consumption-free availability bound ``1 - exp(-R * T)``.
+
+    The probability that *some* pair younger than the storage window
+    exists, ignoring that requests consume pairs. Valid for any buffer
+    size, and tight only when requests are rare (``lam << R``). Use
+    :func:`analytic_pair_availability` for the consumption-aware
+    single-buffer closed form.
+    """
+    if pair_rate <= 0 or storage_limit <= 0:
+        raise HardwareError("pair rate and storage window must be positive")
+    return 1.0 - math.exp(-pair_rate * storage_limit)
 
 
 def analytic_pair_availability(
     pair_rate: float, request_rate: float, storage_limit: float
 ) -> float:
-    """Closed-form availability for a single-pair buffer.
+    """Consumption-aware closed-form availability for a single-pair buffer.
 
     Model: the QNIC holds at most one live pair. Pairs arrive Poisson at
     rate ``R`` (a new pair replaces the buffered one, refreshing its
-    age); requests arrive Poisson at rate ``lam`` and consume the pair
-    if its age is below ``T``.
+    age); requests arrive Poisson at rate ``lam``; a request consumes
+    the pair iff its age is below ``T``.
 
-    With replacement-refresh, the buffered pair's age at a random time is
-    the age of the most recent arrival of a Poisson process, so
-    ``P(live) = P(age < T) = 1 - exp(-R * T)`` — independent of the
-    request rate (PASTA). Consumption only matters when it outpaces
-    production; the simulation covers that regime, and this closed form
-    upper-bounds it.
+    By PASTA, a request finds a live pair iff the most recent pair
+    arrival happened ``u < T`` ago *and* no earlier request consumed it
+    in that interval, so
+
+    ``P(live) = int_0^T R e^{-R u} e^{-lam u} du
+             = R / (R + lam) * (1 - exp(-(R + lam) T))``.
+
+    Limits: ``lam -> 0`` recovers the consumption-free bound
+    ``1 - exp(-R T)``; ``lam >> R`` gives the supply-bound ``R / (R +
+    lam) ~= R / lam``. (An earlier version ignored ``request_rate``
+    entirely and silently over-estimated availability in the
+    consumption-bound regime.)
     """
     if pair_rate <= 0 or request_rate <= 0 or storage_limit <= 0:
         raise HardwareError("rates and storage window must be positive")
-    return 1.0 - math.exp(-pair_rate * storage_limit)
+    total = pair_rate + request_rate
+    return pair_rate / total * (1.0 - math.exp(-total * storage_limit))
 
 
 def simulate_pair_availability(

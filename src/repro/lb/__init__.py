@@ -6,6 +6,14 @@ that measures genuine simulated qubits per decision.
 """
 
 from repro.lb.biased import BiasedCHSHPairedAssignment
+from repro.lb.degradation import (
+    BernoulliPairFaults,
+    DegradationReport,
+    DegradedPolicy,
+    OutagePairFaults,
+    PairFaultModel,
+    make_degraded_chsh,
+)
 from repro.lb.oracle import OmniscientAssignment
 from repro.lb.weighted import WeightedCHSHPairedAssignment
 from repro.lb.des_adapter import DESResult, QuantumPairDecider, run_des_experiment
@@ -37,6 +45,12 @@ from repro.lb.xor_lb import ClassicalGraphPairedAssignment, XORPairedAssignment
 
 __all__ = [
     "BiasedCHSHPairedAssignment",
+    "BernoulliPairFaults",
+    "DegradationReport",
+    "DegradedPolicy",
+    "OutagePairFaults",
+    "PairFaultModel",
+    "make_degraded_chsh",
     "OmniscientAssignment",
     "WeightedCHSHPairedAssignment",
     "DESResult",

@@ -205,6 +205,12 @@ def run_vectorized(
         if total_queued > max_total_queue:
             break
 
+    # Degraded policies drew liveness for all timesteps up front; tell
+    # them how many steps actually executed so their reports match the
+    # sequential path when max_total_queue stops a run early.
+    if hasattr(policy, "note_executed_steps"):
+        policy.note_executed_steps(step + 1)
+
     mean_queue = queue_length_sum / max(1, measured_steps)
     mean_wait = wait_sum / wait_count if wait_count else 0.0
     return SimulationResult(

@@ -43,6 +43,7 @@ from repro.quantum.state import DensityMatrix, StateVector
 
 __all__ = [
     "AssignmentPolicy",
+    "behavior_sampling_tables",
     "RandomAssignment",
     "RoundRobinAssignment",
     "PowerOfTwoAssignment",
@@ -239,6 +240,39 @@ def _default_task_to_input(task) -> int:
     return task.bit
 
 
+def behavior_sampling_tables(
+    behavior: np.ndarray,
+) -> tuple[tuple[int, int], np.ndarray, np.ndarray]:
+    """Precompute Born-sampling tables for a binary-output behavior.
+
+    Returns ``(num_inputs, cumulative, flat_cumulative)``:
+
+    - ``cumulative`` flattens ``p(a, b | x, y)`` into per-(x, y)
+      cumulative tables for fast per-pair sampling.
+    - ``flat_cumulative`` concatenates every (x, y) block's cumulative
+      table, offsetting block ``k``'s entries by ``k``, so one
+      ``searchsorted`` over ``block + u`` resolves all pairs at once.
+      Clipping each block at its offset + 1 keeps the flat table sorted
+      even when float error pushes a cumsum above 1.
+
+    Shared by :class:`GamePairedAssignment` and the degraded policies in
+    :mod:`repro.lb.degradation`, which sample from two tables (live
+    quantum vs classical fallback) behind one interface.
+    """
+    if behavior.shape[2] != 2 or behavior.shape[3] != 2:
+        raise StrategyError("paired policies need binary-output strategies")
+    num_inputs = behavior.shape[:2]
+    cumulative = behavior.reshape(
+        behavior.shape[0], behavior.shape[1], 4
+    ).cumsum(axis=2)
+    num_blocks = num_inputs[0] * num_inputs[1]
+    flat_cumulative = (
+        np.arange(num_blocks)[:, None]
+        + np.minimum(cumulative.reshape(num_blocks, 4), 1.0)
+    ).ravel()
+    return num_inputs, cumulative, flat_cumulative
+
+
 class GamePairedAssignment(AssignmentPolicy):
     """Paired balancers playing a two-player strategy over random server pairs.
 
@@ -268,24 +302,11 @@ class GamePairedAssignment(AssignmentPolicy):
         super().__init__(num_balancers, num_servers)
         if num_servers < 2:
             raise ConfigurationError("paired policies need >= 2 servers")
-        behavior = strategy.behavior()
-        if behavior.shape[2] != 2 or behavior.shape[3] != 2:
-            raise StrategyError("paired policies need binary-output strategies")
-        self._num_inputs = behavior.shape[:2]
-        # Flatten p(a,b|x,y) into cumulative tables for fast sampling.
-        self._cumulative = behavior.reshape(
-            behavior.shape[0], behavior.shape[1], 4
-        ).cumsum(axis=2)
-        # Batched Born sampling: concatenate every (x, y) block's
-        # cumulative table, offsetting block k's entries by k, so one
-        # searchsorted over (block + u) resolves all pairs at once.
-        # Clipping each block at its offset + 1 keeps the flat table
-        # sorted even when float error pushes a cumsum above 1.
-        num_blocks = self._num_inputs[0] * self._num_inputs[1]
-        self._flat_cumulative = (
-            np.arange(num_blocks)[:, None]
-            + np.minimum(self._cumulative.reshape(num_blocks, 4), 1.0)
-        ).ravel()
+        (
+            self._num_inputs,
+            self._cumulative,
+            self._flat_cumulative,
+        ) = behavior_sampling_tables(strategy.behavior())
         self._task_to_input = task_to_input or _default_task_to_input
         # Pair-selection policy (DESIGN.md ablation): by default each
         # pair draws a fresh random server pair every round; sticky pairs

@@ -13,11 +13,12 @@ function of load ``N/M``.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.lb.degradation import DegradationReport
 from repro.lb.policies import AssignmentPolicy
 from repro.net.packet import TaskType
 from repro.net.workload import BernoulliTaskMix
@@ -50,6 +51,9 @@ class SimulationResult:
         arrived: tasks that arrived after warmup accounting started.
         timesteps: measured (post-warmup) steps.
         load: offered load ``N/M``.
+        degradation: fault-plane observability when the policy degrades
+            gracefully (a :class:`~repro.lb.degradation
+            .DegradationReport`); ``None`` for fault-free policies.
     """
 
     mean_queue_length: float
@@ -58,6 +62,7 @@ class SimulationResult:
     arrived: int
     timesteps: int
     load: float
+    degradation: DegradationReport | None = None
 
 
 def _serve_paper(queue: deque, now: int, waits: list[int]) -> int:
@@ -198,7 +203,7 @@ def run_timestep_simulation(
     if engine == "vectorized" and reason is not None:
         raise ConfigurationError(f"vectorized engine unsupported: {reason}")
     if engine != "reference" and reason is None:
-        return _engine_mod.run_vectorized(
+        result = _engine_mod.run_vectorized(
             policy,
             workload,
             workload_rng,
@@ -208,6 +213,7 @@ def run_timestep_simulation(
             warmup=warmup,
             max_total_queue=max_total_queue,
         )
+        return _attach_degradation(policy, result)
 
     queues: list[deque] = [deque() for _ in range(num_servers)]
     queue_length_sum = 0.0
@@ -246,11 +252,28 @@ def run_timestep_simulation(
 
     mean_queue = queue_length_sum / max(1, measured_steps)
     mean_wait = float(np.mean(waits)) if waits else 0.0
-    return SimulationResult(
-        mean_queue_length=mean_queue,
-        mean_queueing_delay=mean_wait,
-        served=served,
-        arrived=arrived,
-        timesteps=measured_steps,
-        load=policy.num_balancers / num_servers,
+    return _attach_degradation(
+        policy,
+        SimulationResult(
+            mean_queue_length=mean_queue,
+            mean_queueing_delay=mean_wait,
+            served=served,
+            arrived=arrived,
+            timesteps=measured_steps,
+            load=policy.num_balancers / num_servers,
+        ),
     )
+
+
+def _attach_degradation(
+    policy: AssignmentPolicy, result: SimulationResult
+) -> SimulationResult:
+    """Attach the policy's degradation report, if it keeps one.
+
+    Fault-free policies leave ``degradation=None``, preserving exact
+    result equality across engines for the per-seed-identical family.
+    """
+    report = getattr(policy, "degradation_report", None)
+    if report is None:
+        return result
+    return replace(result, degradation=report())

@@ -49,7 +49,9 @@ class LoadSweepPoint:
 def _run_load_point(config, seed: int) -> SimulationResult:
     """Worker function: one simulation at one server count."""
     policy = config["policy_factory"](
-        config["num_balancers"], config["num_servers"]
+        config["num_balancers"],
+        config["num_servers"],
+        **config.get("policy_kwargs", {}),
     )
     return run_timestep_simulation(
         policy,
@@ -75,6 +77,7 @@ def sweep_load_detailed(
     cache_dir=None,
     progress=None,
     engine: str = "auto",
+    policy_kwargs: dict | None = None,
 ) -> tuple[list[LoadSweepPoint], RunReport]:
     """Like :func:`sweep_load`, also returning the execution report."""
     if not loads:
@@ -105,20 +108,22 @@ def sweep_load_detailed(
         label=f"sweep_load[{factory_name}]",
         progress=progress,
     )
+    base_config = {
+        "policy_factory": policy_factory,
+        "num_balancers": num_balancers,
+        "timesteps": timesteps,
+        "discipline": discipline,
+        "p_colocate": p_colocate,
+        "engine": engine,
+    }
+    if policy_kwargs:
+        # Part of the config dict, hence of the cache fingerprint: two
+        # sweeps of the same factory at different fault settings never
+        # collide in the result cache.
+        base_config["policy_kwargs"] = dict(policy_kwargs)
     report = runner.run(
         [
-            (
-                {
-                    "policy_factory": policy_factory,
-                    "num_balancers": num_balancers,
-                    "num_servers": num_servers,
-                    "timesteps": timesteps,
-                    "discipline": discipline,
-                    "p_colocate": p_colocate,
-                    "engine": engine,
-                },
-                seed,
-            )
+            ({**base_config, "num_servers": num_servers}, seed)
             for _, num_servers in resolved
         ]
     )
@@ -148,12 +153,16 @@ def sweep_load(
     cache_dir=None,
     progress=None,
     engine: str = "auto",
+    policy_kwargs: dict | None = None,
 ) -> list[LoadSweepPoint]:
     """Run the Fig 4 experiment across a load (``N/M``) sweep.
 
-    ``policy_factory(num_balancers, num_servers)`` builds a fresh policy
-    per point (policies may carry state such as round-robin counters).
-    Requested loads that collapse onto the same integer server count are
+    ``policy_factory(num_balancers, num_servers, **policy_kwargs)``
+    builds a fresh policy per point (policies may carry state such as
+    round-robin counters, and — for degraded policies — fault-model
+    state). ``policy_kwargs`` must be picklable and fingerprintable: it
+    travels to worker processes and into the result-cache key. Requested
+    loads that collapse onto the same integer server count are
     de-duplicated with a warning; each surviving point records both the
     caller's ``requested_load`` and the actual rounded ``load``.
     """
@@ -170,6 +179,7 @@ def sweep_load(
         cache_dir=cache_dir,
         progress=progress,
         engine=engine,
+        policy_kwargs=policy_kwargs,
     )
     return points
 

@@ -18,6 +18,7 @@ from repro.quantum.bases import (
 )
 from repro.quantum.channels import (
     Channel,
+    HeraldedErasure,
     amplitude_damping,
     bit_flip,
     bit_phase_flip,
@@ -80,6 +81,7 @@ __all__ = [
     "observable_for_basis",
     "rotation_basis",
     "Channel",
+    "HeraldedErasure",
     "amplitude_damping",
     "bit_flip",
     "bit_phase_flip",

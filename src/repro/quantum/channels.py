@@ -28,6 +28,7 @@ __all__ = [
     "phase_flip",
     "bit_phase_flip",
     "amplitude_damping",
+    "HeraldedErasure",
     "erasure_as_depolarizing",
     "compose",
 ]
@@ -168,15 +169,61 @@ def amplitude_damping(gamma: float) -> Channel:
     return Channel((k0, k1), label=f"ampdamp({gamma})")
 
 
+@dataclass(frozen=True)
+class HeraldedErasure:
+    """Detected photon loss: the qubit is *gone*, and the protocol knows.
+
+    Photon loss in fiber is heralded — the missing detector click tells
+    the receiver no qubit arrived — so a loss event is not noise on a
+    surviving state but the absence of one. This cannot be written as a
+    CPTP map on the 2-dimensional qubit space; protocols handle it by
+    branching: with probability :attr:`loss_probability` the pair is
+    lost and the decision falls back to a classical strategy, otherwise
+    the state passes through untouched. The degraded Fig 4 policies
+    (:mod:`repro.lb.degradation`) consume exactly this branch as a
+    "pair lost" signal instead of silently playing a noisy state.
+
+    Use :func:`erasure_as_depolarizing` only for *undetected* loss,
+    where the protocol must still output a bit.
+    """
+
+    loss_probability: float
+
+    def __post_init__(self) -> None:
+        _require_probability(self.loss_probability)
+
+    @property
+    def survival_probability(self) -> float:
+        """Probability the photon arrives."""
+        return 1.0 - self.loss_probability
+
+    def sample_lost(self, rng: np.random.Generator, size=None):
+        """Draw loss heralds: ``True`` where the photon was erased."""
+        if size is None:
+            return bool(rng.random() < self.loss_probability)
+        return rng.random(size) < self.loss_probability
+
+    def as_undetected(self) -> Channel:
+        """The undetected-loss approximation (see module docstring)."""
+        return erasure_as_depolarizing(self.loss_probability)
+
+
 def erasure_as_depolarizing(loss_probability: float) -> Channel:
-    """Photon loss modeled within the qubit space.
+    """*Undetected* photon loss modeled within the qubit space.
 
     A lost photon carries no information; when a protocol must still output
     a bit it effectively substitutes a maximally mixed qubit. That is
     exactly a depolarizing channel at rate ``loss_probability``, which lets
     loss compose with the rest of the Kraus machinery without leaving the
-    2-dimensional space. (Detected-loss protocols should instead resample a
-    fresh pair; :mod:`repro.hardware.distribution` models that path.)
+    2-dimensional space.
+
+    Most real losses are *heralded* (the missing detector click is
+    observable), and conflating the two silently understates the
+    protocol's information: a detected-loss protocol resamples a fresh
+    pair or falls back classically rather than measuring vacuum. Use
+    :class:`HeraldedErasure` for that path;
+    :mod:`repro.hardware.distribution` and the degraded Fig 4 policies
+    model it end to end.
     """
     return depolarizing(loss_probability)
 

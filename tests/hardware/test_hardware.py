@@ -14,6 +14,7 @@ from repro.hardware import (
     EntanglementDistributor,
     FiberChannel,
     SPDCSource,
+    apply_measurement_flips,
     evaluate_budget,
     required_fidelity_for_advantage,
     storage_depolarizing_probability,
@@ -114,6 +115,66 @@ class TestQNIC:
             storage_depolarizing_probability(-1.0, 1.0)
 
 
+class TestMeasurementFlips:
+    """``QNIC.measurement_error`` must actually reach the behavior table
+    (it used to be validated and then ignored)."""
+
+    def behavior(self):
+        from repro.games.chsh import optimal_quantum_strategy
+
+        return optimal_quantum_strategy().behavior()
+
+    def test_zero_error_is_identity(self):
+        behavior = self.behavior()
+        assert np.array_equal(
+            apply_measurement_flips(behavior, 0.0), behavior
+        )
+
+    def test_rows_stay_normalized(self):
+        flipped = apply_measurement_flips(self.behavior(), 0.03, 0.08)
+        assert flipped.sum(axis=(2, 3)) == pytest.approx(
+            np.ones((2, 2)), abs=1e-12
+        )
+        assert (flipped >= 0).all()
+
+    def test_nonzero_error_lowers_chsh_win(self):
+        from repro.games.chsh import chsh_game
+
+        game = chsh_game()
+        clean = game.win_probability_of_behavior(self.behavior())
+        assert clean == pytest.approx(CHSH_QUANTUM_VALUE)
+        last = clean
+        for error in (0.01, 0.05, 0.1, 0.25):
+            noisy = game.win_probability_of_behavior(
+                apply_measurement_flips(self.behavior(), error)
+            )
+            assert noisy < last
+            last = noisy
+
+    def test_maximal_error_is_coin_flip(self):
+        from repro.games.chsh import chsh_game
+
+        scrambled = apply_measurement_flips(self.behavior(), 0.5, 0.5)
+        win = chsh_game().win_probability_of_behavior(scrambled)
+        assert win == pytest.approx(0.5, abs=1e-9)
+
+    def test_asymmetric_errors_compose(self):
+        one_sided = apply_measurement_flips(self.behavior(), 0.1, 0.0)
+        # Flipping only Alice: marginal of Bob unchanged.
+        bob_marginal = one_sided.sum(axis=2)
+        clean_marginal = self.behavior().sum(axis=2)
+        assert bob_marginal == pytest.approx(clean_marginal, abs=1e-12)
+
+    def test_validation(self):
+        behavior = self.behavior()
+        with pytest.raises(HardwareError):
+            apply_measurement_flips(behavior, 0.7)
+        with pytest.raises(HardwareError):
+            apply_measurement_flips(behavior, -0.1)
+        with pytest.raises(HardwareError):
+            apply_measurement_flips(np.zeros((2, 2, 2)), 0.1)
+
+
 class TestFiber:
     def test_survival_probability(self):
         # 0.2 dB/km over 50 km = 10 dB = 10% survival.
@@ -183,6 +244,16 @@ class TestDistributor:
     def test_storage_free_lead_time(self):
         dist = make_distributor()
         assert dist.max_storage_free_lead_time() == dist.delivery_latency()
+
+    def test_heralded_erasure_matches_survival(self):
+        fiber = FiberChannel(length_m=50_000.0, loss_db_per_km=0.2)
+        assert fiber.heralded_erasure().survival_probability == (
+            pytest.approx(fiber.survival_probability())
+        )
+        dist = make_distributor(fiber_a=fiber, fiber_b=fiber)
+        assert dist.pair_erasure().loss_probability == pytest.approx(
+            1.0 - dist.pair_survival_probability()
+        )
 
 
 class TestBudget:

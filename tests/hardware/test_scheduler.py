@@ -8,20 +8,32 @@ from repro.errors import HardwareError
 from repro.hardware.scheduler import (
     analytic_pair_availability,
     effective_win_probability,
+    pair_availability_upper_bound,
     simulate_pair_availability,
 )
 
 
 class TestAnalytic:
-    def test_fast_supply_saturates(self):
+    def test_fast_supply_saturates_to_supply_share(self):
+        # Consumption-aware limit: with e^-(R+lambda)T ~ 0 the formula
+        # saturates at R/(R+lambda), not at 1 — each request leaves a
+        # ~1/R gap the next request can land in.
         assert analytic_pair_availability(1e6, 1e3, 1e-3) == pytest.approx(
-            1.0, abs=1e-6
+            1e6 / (1e6 + 1e3), rel=1e-9
         )
 
     def test_starved_supply(self):
-        # R*T = 0.1 -> 1 - e^-0.1.
+        # R/(R+lambda) * (1 - e^-(R+lambda)T) with R=1e3, lambda=1e4,
+        # T=1e-4: (1/11)(1 - e^-1.1) ~= 0.06065.
         value = analytic_pair_availability(1e3, 1e4, 100e-6)
-        assert value == pytest.approx(0.09516, abs=1e-4)
+        assert value == pytest.approx(0.06065, abs=1e-4)
+
+    def test_below_consumption_free_bound(self):
+        # The old closed form ignored consumption entirely; the exact
+        # formula must sit strictly below it at any finite request rate.
+        bound = pair_availability_upper_bound(1e3, 100e-6)
+        assert bound == pytest.approx(0.09516, abs=1e-4)
+        assert analytic_pair_availability(1e3, 1e4, 100e-6) < bound
 
     def test_monotone_in_storage(self):
         values = [
@@ -30,11 +42,29 @@ class TestAnalytic:
         ]
         assert values == sorted(values)
 
+    def test_monotone_in_request_rate(self):
+        # More consumption means fewer live pairs at request time; the
+        # old formula was flat in request_rate (the reported bug).
+        values = [
+            analytic_pair_availability(1e4, lam, 100e-6)
+            for lam in (1e2, 1e3, 1e4, 1e5)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > values[-1]
+
+    def test_no_consumption_limit_recovers_bound(self):
+        # lambda -> 0 recovers the consumption-free closed form.
+        assert analytic_pair_availability(
+            1e4, 1e-6, 100e-6
+        ) == pytest.approx(pair_availability_upper_bound(1e4, 100e-6), rel=1e-6)
+
     def test_validation(self):
         with pytest.raises(HardwareError):
             analytic_pair_availability(0.0, 1.0, 1.0)
         with pytest.raises(HardwareError):
             analytic_pair_availability(1.0, 1.0, 0.0)
+        with pytest.raises(HardwareError):
+            pair_availability_upper_bound(0.0, 1.0)
 
 
 class TestSimulated:
@@ -42,17 +72,30 @@ class TestSimulated:
         value = simulate_pair_availability(1e6, 1e4, 100e-6, seed=1)
         assert value > 0.95
 
-    def test_analytic_upper_bounds_simulation(self):
-        """The closed form ignores consumption, so it bounds from above."""
-        for rates in ((1e4, 1e3), (1e4, 1e4), (1e3, 1e4)):
-            pair_rate, request_rate = rates
+    def test_upper_bound_dominates_simulation(self):
+        """The consumption-free closed form bounds any buffer size."""
+        for pair_rate, request_rate in ((1e4, 1e3), (1e4, 1e4), (1e3, 1e4)):
+            bound = pair_availability_upper_bound(pair_rate, 200e-6)
+            for buffer_size in (1, 4):
+                sim = simulate_pair_availability(
+                    pair_rate,
+                    request_rate,
+                    200e-6,
+                    buffer_size=buffer_size,
+                    seed=2,
+                )
+                assert sim <= bound + 0.02
+
+    def test_analytic_matches_simulation_single_buffer(self):
+        """The consumption-aware formula is exact for buffer_size=1."""
+        for pair_rate, request_rate in ((1e4, 1e3), (1e4, 1e4), (1e3, 1e4)):
             sim = simulate_pair_availability(
                 pair_rate, request_rate, 200e-6, seed=2
             )
             analytic = analytic_pair_availability(
                 pair_rate, request_rate, 200e-6
             )
-            assert sim <= analytic + 0.02
+            assert sim == pytest.approx(analytic, abs=0.02)
 
     def test_contended_regime_capped_by_supply_ratio(self):
         """When requests outpace pairs, availability caps at R/lambda."""

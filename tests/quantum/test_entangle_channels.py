@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError, DimensionError
 from repro.quantum import gates
 from repro.quantum.channels import (
     Channel,
+    HeraldedErasure,
     amplitude_damping,
     bit_flip,
     bit_phase_flip,
@@ -208,3 +209,38 @@ class TestChannels:
         assert erasure_as_depolarizing(1.0).apply(rho) == (
             depolarizing(1.0).apply(rho)
         )
+
+
+class TestHeraldedErasure:
+    """Detected photon loss branches on 'pair lost' instead of applying
+    a CPTP map — the distinction the degraded Fig 4 policies rely on."""
+
+    def test_survival_complements_loss(self):
+        erasure = HeraldedErasure(0.3)
+        assert erasure.survival_probability == pytest.approx(0.7)
+
+    def test_sample_scalar_and_batch(self):
+        erasure = HeraldedErasure(0.25)
+        rng = np.random.default_rng(0)
+        assert isinstance(erasure.sample_lost(rng), bool)
+        draws = erasure.sample_lost(rng, size=20_000)
+        assert draws.shape == (20_000,)
+        assert draws.mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_certain_outcomes(self):
+        rng = np.random.default_rng(1)
+        assert not HeraldedErasure(0.0).sample_lost(rng)
+        assert HeraldedErasure(1.0).sample_lost(rng)
+
+    def test_as_undetected_matches_depolarizing_alias(self):
+        rho = bell_pair().to_density_matrix()
+        undetected = HeraldedErasure(0.4).as_undetected()
+        assert undetected.apply(rho, targets=[0]) == (
+            erasure_as_depolarizing(0.4).apply(rho, targets=[0])
+        )
+
+    def test_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeraldedErasure(1.2)
+        with pytest.raises(ConfigurationError):
+            HeraldedErasure(-0.1)
