@@ -16,6 +16,7 @@ Subpackages
 - :mod:`repro.ecmp`     — ECMP collision games and the no-advantage results.
 - :mod:`repro.hardware` — QNIC / SPDC-source realism models.
 - :mod:`repro.analysis` — statistics, sweeps, and table formatting.
+- :mod:`repro.obs`      — metrics registry, tracing spans, run manifests.
 """
 
 from repro._version import __version__

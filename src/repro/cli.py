@@ -16,6 +16,8 @@ Each subcommand prints the same tables the benchmark harness produces.
 from __future__ import annotations
 
 import argparse
+import json
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -23,6 +25,17 @@ import numpy as np
 from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_telemetry(value: str) -> str:
+    """Validate ``--telemetry``: off, summary, or ``json:PATH``."""
+    if value in ("off", "summary"):
+        return value
+    if value.startswith("json:") and len(value) > len("json:"):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"expected 'off', 'summary', or 'json:PATH', got {value!r}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,11 +48,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    # Shared by every subcommand so it can follow the command name
+    # (``repro fig4 --telemetry json:run.json``).
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--telemetry",
+        type=_parse_telemetry,
+        default="off",
+        metavar="{off,summary,json:PATH}",
+        help="run observability: 'summary' prints the run manifest and "
+        "span tree, 'json:PATH' writes {manifest, spans} to PATH "
+        "(default: off; see docs/observability.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("chsh", help="CHSH game values (paper §2)")
+    sub.add_parser(
+        "chsh", help="CHSH game values (paper §2)", parents=[telemetry]
+    )
 
-    fig3 = sub.add_parser("fig3", help="Fig 3: XOR-game advantage curve")
+    fig3 = sub.add_parser(
+        "fig3", help="Fig 3: XOR-game advantage curve", parents=[telemetry]
+    )
     fig3.add_argument("--games", type=int, default=20,
                       help="games per point (default 20)")
     fig3.add_argument("--points", type=float, nargs="+",
@@ -48,7 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--vertices", type=int, default=5)
     fig3.add_argument("--seed", type=int, default=0)
 
-    fig4 = sub.add_parser("fig4", help="Fig 4: queue length vs load")
+    fig4 = sub.add_parser(
+        "fig4", help="Fig 4: queue length vs load", parents=[telemetry]
+    )
     fig4.add_argument("--balancers", type=int, default=100)
     fig4.add_argument("--steps", type=int, default=600)
     fig4.add_argument("--loads", type=float, nargs="+",
@@ -83,9 +114,15 @@ def build_parser() -> argparse.ArgumentParser:
                       "is lost: best classical paired strategy (default) "
                       "or uniform random routing")
 
-    sub.add_parser("ecmp", help="§4.2 collision games and reduction")
+    sub.add_parser(
+        "ecmp",
+        help="§4.2 collision games and reduction",
+        parents=[telemetry],
+    )
 
-    budget = sub.add_parser("budget", help="§3 hardware advantage budget")
+    budget = sub.add_parser(
+        "budget", help="§3 hardware advantage budget", parents=[telemetry]
+    )
     budget.add_argument("--source-fidelity", type=float, default=0.97)
     budget.add_argument("--fiber-km", type=float, default=1.0)
     budget.add_argument("--storage-us", type=float, default=50.0)
@@ -93,19 +130,25 @@ def build_parser() -> argparse.ArgumentParser:
     budget.add_argument("--pair-rate", type=float, default=1e6)
 
     values = sub.add_parser(
-        "values", help="classical/quantum values of one random graph game"
+        "values",
+        help="classical/quantum values of one random graph game",
+        parents=[telemetry],
     )
     values.add_argument("--p-exclusive", type=float, default=0.5)
     values.add_argument("--vertices", type=int, default=5)
     values.add_argument("--seed", type=int, default=0)
 
     mermin = sub.add_parser(
-        "mermin", help="multiplayer Mermin game value table"
+        "mermin",
+        help="multiplayer Mermin game value table",
+        parents=[telemetry],
     )
     mermin.add_argument("--max-players", type=int, default=5)
 
     calibrate = sub.add_parser(
-        "calibrate", help="finite-sample CHSH calibration of a Werner state"
+        "calibrate",
+        help="finite-sample CHSH calibration of a Werner state",
+        parents=[telemetry],
     )
     calibrate.add_argument("--fidelity", type=float, default=0.95)
     calibrate.add_argument("--samples", type=int, default=5000)
@@ -405,10 +448,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> None:
     )
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     if args.command == "chsh":
         _cmd_chsh()
     elif args.command == "fig3":
@@ -427,4 +467,71 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_calibrate(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
+
+
+def _cli_manifest(args, registry, wall: float):
+    """Build the command-level RunManifest from the captured registry."""
+    from repro.obs import RunManifest
+
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", {})
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("command", "telemetry")
+    }
+    seed = getattr(args, "seed", None)
+    return RunManifest.collect(
+        "cli",
+        seeds=() if seed is None else (int(seed),),
+        engine=getattr(args, "engine", None),
+        config={"command": args.command, **config},
+        cache_hits=counters.get("cache.hit", 0),
+        cache_misses=counters.get("cache.miss", 0),
+        metrics=snapshot,
+        wall_seconds=wall,
+    )
+
+
+def _emit_telemetry(mode: str, manifest, spans) -> None:
+    from repro.obs import format_span_tree
+
+    if mode == "summary":
+        print()
+        print("== telemetry ==")
+        print(manifest.to_json())
+        tree = format_span_tree(spans)
+        if tree:
+            print(tree)
+        return
+    path = mode[len("json:"):]
+    payload = {
+        "manifest": manifest.to_dict(),
+        "spans": [entry.to_dict() for entry in spans],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"telemetry written to {path}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        _dispatch(parser, args)
+        return 0
+
+    from repro.obs import capture, clear_spans, finished_spans
+    from repro.obs import spans as _spans
+
+    clear_spans()
+    start = time.perf_counter()
+    with capture() as registry, _spans.span(f"cli.{args.command}"):
+        _dispatch(parser, args)
+    wall = time.perf_counter() - start
+    manifest = _cli_manifest(args, registry, wall)
+    _emit_telemetry(mode, manifest, finished_spans())
     return 0

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "CACHE_VERSION",
@@ -43,7 +44,8 @@ __all__ = [
 #: Bump to invalidate every existing cache entry at once.
 #: v2: SimulationResult grew a ``degradation`` field; cached pickles
 #: from v1 would deserialize without it and confuse consumers.
-CACHE_VERSION = 2
+#: v3: SimulationResult grew a ``manifest`` field (observability layer).
+CACHE_VERSION = 3
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
@@ -195,12 +197,16 @@ class ResultCache:
         """Return ``(hit, value)``; corrupt or missing entries miss."""
         try:
             with open(self._path(key), "rb") as fh:
-                return True, pickle.load(fh)
+                value = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            get_registry().counter("cache.miss").inc()
             return False, None
+        get_registry().counter("cache.hit").inc()
+        return True, value
 
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key`` atomically."""
+        get_registry().counter("cache.put").inc()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -231,4 +237,5 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        get_registry().counter("cache.evicted").inc(removed)
         return removed

@@ -21,10 +21,13 @@ import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache, cache_key, stable_fingerprint
+from repro.obs import manifest as _manifest
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 
 __all__ = ["PointResult", "RunReport", "SweepRunner", "resolve_jobs"]
 
@@ -76,8 +79,16 @@ class RunReport:
         label: the runner's label (shows up in progress lines).
         jobs: resolved worker count.
         points: per-point outcomes, in submission order.
-        wall_clock: end-to-end run time in seconds.
+        wall_clock: end-to-end run time in seconds, including the
+            cache-replay scan and result writeback.
         cache_hits: points served from the result cache.
+        compute_wall_clock: wall time of the compute phase alone (zero
+            when every point replayed from cache). Utilization is
+            measured against this window, not ``wall_clock``, so a
+            warm-cache run does not dilute it toward zero.
+        manifest: provenance record for this run (never part of
+            equality — parallel and serial reports of the same points
+            stay equal).
     """
 
     label: str
@@ -85,6 +96,8 @@ class RunReport:
     points: tuple[PointResult, ...]
     wall_clock: float
     cache_hits: int
+    compute_wall_clock: float = 0.0
+    manifest: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def points_completed(self) -> int:
@@ -92,14 +105,44 @@ class RunReport:
         return len(self.points)
 
     @property
+    def points_computed(self) -> int:
+        """Points actually computed (not replayed from the cache)."""
+        return self.points_completed - self.cache_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of points served from the result cache."""
+        if not self.points:
+            return 0.0
+        return self.cache_hits / self.points_completed
+
+    @property
     def busy_seconds(self) -> float:
         """Summed per-point compute time across workers."""
         return sum(p.wall_seconds for p in self.points if not p.cached)
 
     @property
+    def cache_seconds(self) -> float:
+        """Summed cache-lookup time of the replayed points."""
+        return sum(p.wall_seconds for p in self.points if p.cached)
+
+    @property
     def worker_utilization(self) -> float:
-        """Busy time as a fraction of total worker capacity."""
-        capacity = self.jobs * self.wall_clock
+        """Busy time as a fraction of compute-phase worker capacity.
+
+        Measured over the compute window only and against the workers
+        that could actually be used (``min(jobs, points computed)``), so
+        warm-cache replays neither dilute nor inflate the figure. A run
+        with nothing to compute reports 0.0.
+        """
+        if self.points_computed == 0:
+            return 0.0
+        window = (
+            self.compute_wall_clock
+            if self.compute_wall_clock > 0.0
+            else self.wall_clock
+        )
+        capacity = min(self.jobs, self.points_computed) * window
         if capacity <= 0.0:
             return 0.0
         return min(1.0, self.busy_seconds / capacity)
@@ -110,10 +153,9 @@ class RunReport:
 
     def summary(self) -> str:
         """One-line human summary of the run."""
-        computed = self.points_completed - self.cache_hits
         return (
             f"[sweep:{self.label}] {self.points_completed} points "
-            f"({computed} computed, {self.cache_hits} cached) in "
+            f"({self.points_computed} computed, {self.cache_hits} cached) in "
             f"{self.wall_clock:.2f}s with {self.jobs} worker(s); "
             f"busy {self.busy_seconds:.2f}s, "
             f"utilization {self.worker_utilization:.0%}"
@@ -135,8 +177,17 @@ def _install_worker_fn(payload) -> None:
 def _execute_point(item):
     index, config, seed = item
     start = time.perf_counter()
-    value = _WORKER_FN(config, seed)
-    return index, value, time.perf_counter() - start
+    # Capture the point's metrics in isolation so the parent can merge
+    # exactly this point's delta — the invariant that per-worker counter
+    # sums equal a serial run's counters over the same point set.
+    with _metrics.capture() as point_registry:
+        value = _WORKER_FN(config, seed)
+    return (
+        index,
+        value,
+        time.perf_counter() - start,
+        point_registry.snapshot(),
+    )
 
 
 class SweepRunner:
@@ -205,7 +256,9 @@ class SweepRunner:
         """Evaluate every (config, seed) point and return the report.
 
         Results come back in submission order. Worker exceptions
-        propagate to the caller after the pool is torn down.
+        propagate to the caller after the pool is torn down. The
+        report's manifest carries the run's merged metrics: serial and
+        parallel runs of the same points produce identical counters.
         """
         submitted: Sequence[tuple[object, int]] = [
             (config, int(seed)) for config, seed in points
@@ -217,46 +270,77 @@ class SweepRunner:
         outcomes: list[PointResult | None] = [None] * total
         pending: list[tuple[int, object, int]] = []
         cache_hits = 0
-        for index, (config, seed) in enumerate(submitted):
+        compute_wall = 0.0
+        with _metrics.capture(propagate=True) as run_registry, _spans.span(
+            f"sweep.{self.label}", points=total
+        ):
+            run_registry.counter("sweep.runs").inc()
+            for index, (config, seed) in enumerate(submitted):
+                if self._cache is not None:
+                    lookup = time.perf_counter()
+                    hit, value = self._cache.get(self._key(config, seed))
+                    if hit:
+                        outcomes[index] = PointResult(
+                            config=config,
+                            seed=seed,
+                            value=value,
+                            wall_seconds=time.perf_counter() - lookup,
+                            cached=True,
+                        )
+                        cache_hits += 1
+                        run_registry.counter("sweep.points.cached").inc()
+                        self._emit(
+                            f"[sweep:{self.label}] point {index + 1}/{total} "
+                            f"seed={seed} cached"
+                        )
+                        continue
+                pending.append((index, config, seed))
+
+            if pending:
+                compute_start = time.perf_counter()
+                jobs = min(self.jobs, len(pending))
+                if jobs == 1:
+                    self._run_serial(pending, outcomes, total)
+                else:
+                    self._run_parallel(pending, outcomes, total, jobs)
+                compute_wall = time.perf_counter() - compute_start
+
             if self._cache is not None:
-                lookup = time.perf_counter()
-                hit, value = self._cache.get(self._key(config, seed))
-                if hit:
-                    outcomes[index] = PointResult(
-                        config=config,
-                        seed=seed,
-                        value=value,
-                        wall_seconds=time.perf_counter() - lookup,
-                        cached=True,
+                for index, config, seed in pending:
+                    self._cache.put(
+                        self._key(config, seed), outcomes[index].value
                     )
-                    cache_hits += 1
-                    self._emit(
-                        f"[sweep:{self.label}] point {index + 1}/{total} "
-                        f"seed={seed} cached"
-                    )
-                    continue
-            pending.append((index, config, seed))
+            metrics_snapshot = run_registry.snapshot()
 
-        if pending:
-            jobs = min(self.jobs, len(pending))
-            if jobs == 1:
-                self._run_serial(pending, outcomes, total)
-            else:
-                self._run_parallel(pending, outcomes, total, jobs)
-
-        if self._cache is not None:
-            for index, config, seed in pending:
-                self._cache.put(
-                    self._key(config, seed), outcomes[index].value
-                )
-
+        wall_clock = time.perf_counter() - start
+        run_manifest = _manifest.RunManifest.collect(
+            "sweep",
+            seeds=tuple(seed for _, seed in submitted),
+            config={
+                "label": self.label,
+                "jobs": self.jobs,
+                "points": total,
+                "cache": self._cache is not None,
+            },
+            cache_hits=cache_hits,
+            cache_misses=len(pending),
+            metrics=metrics_snapshot,
+            wall_seconds=wall_clock,
+        ) if _metrics.get_registry().enabled else None
         report = RunReport(
             label=self.label,
             jobs=self.jobs,
             points=tuple(outcomes),
-            wall_clock=time.perf_counter() - start,
+            wall_clock=wall_clock,
             cache_hits=cache_hits,
+            compute_wall_clock=compute_wall,
+            manifest=run_manifest,
         )
+        registry = _metrics.get_registry()
+        registry.gauge("sweep.worker_utilization").set(
+            report.worker_utilization
+        )
+        registry.gauge("sweep.cache_hit_rate").set(report.cache_hit_rate)
         self._emit(report.summary())
         return report
 
@@ -266,6 +350,7 @@ class SweepRunner:
         item: tuple[int, object, int],
         value,
         wall: float,
+        snapshot: dict,
         done: int,
         total: int,
     ) -> None:
@@ -274,6 +359,10 @@ class SweepRunner:
             config=config, seed=seed, value=value, wall_seconds=wall,
             cached=False,
         )
+        registry = _metrics.get_registry()
+        registry.merge_snapshot(snapshot)
+        registry.counter("sweep.points.computed").inc()
+        registry.timer("sweep.point").observe(wall)
         self._emit(
             f"[sweep:{self.label}] point {done}/{total} "
             f"seed={seed} {wall:.3f}s"
@@ -284,10 +373,19 @@ class SweepRunner:
         for item in pending:
             _, config, seed = item
             begin = time.perf_counter()
-            value = self._fn(config, seed)
+            with _metrics.capture() as point_registry, _spans.span(
+                "point", seed=seed
+            ):
+                value = self._fn(config, seed)
             done += 1
             self._record(
-                outcomes, item, value, time.perf_counter() - begin, done, total
+                outcomes,
+                item,
+                value,
+                time.perf_counter() - begin,
+                point_registry.snapshot(),
+                done,
+                total,
             )
 
     def _make_executor(self, jobs: int) -> ProcessPoolExecutor:
@@ -331,8 +429,14 @@ class SweepRunner:
                     remaining, return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    index, value, wall = future.result()
+                    index, value, wall, snapshot = future.result()
                     done += 1
                     self._record(
-                        outcomes, futures[future], value, wall, done, total
+                        outcomes,
+                        futures[future],
+                        value,
+                        wall,
+                        snapshot,
+                        done,
+                        total,
                     )

@@ -22,6 +22,7 @@ import math
 import numpy as np
 
 from repro.errors import HardwareError
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "simulate_pair_availability",
@@ -117,6 +118,12 @@ def simulate_pair_availability(
                 buffer.pop()  # consume the freshest
                 served += 1
             next_request = now + rng.exponential(1.0 / request_rate)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("pairs.supply_runs").inc()
+        registry.counter("pairs.requests").inc(requests)
+        registry.counter("pairs.served").inc(served)
+        registry.counter("pairs.fallback").inc(requests - served)
     return served / requests
 
 

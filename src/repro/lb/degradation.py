@@ -243,6 +243,21 @@ class DegradationReport:
             self.fallback_win_probability,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (fields plus derived rates) for
+        run manifests and CLI telemetry."""
+        return {
+            "pair_decisions": self.pair_decisions,
+            "quantum_decisions": self.quantum_decisions,
+            "fallback_decisions": self.fallback_decisions,
+            "availability": self.availability,
+            "quantum_win_probability": self.quantum_win_probability,
+            "fallback_win_probability": self.fallback_win_probability,
+            "fallback_fraction": self.fallback_fraction,
+            "quantum_decision_rate": self.quantum_decision_rate,
+            "effective_win_probability": self.effective_win_probability,
+        }
+
 
 def _classical_fallback_strategy() -> DeterministicStrategy:
     """The best classical paired strategy of the colocation game."""
@@ -408,6 +423,16 @@ class DegradedPolicy(GamePairedAssignment):
         )
 
     # -- degradation observability -----------------------------------------
+
+    @property
+    def fault_config(self) -> dict:
+        """The fault-plane settings this policy runs under, as plain
+        data for run manifests and CLI telemetry."""
+        return {
+            "model": type(self._faults).__name__,
+            "availability": self._faults.availability(),
+            "fallback": "random" if self._fallback_random else "strategy",
+        }
 
     def note_executed_steps(self, steps: int) -> None:
         """Clamp the report to the steps a run actually executed (the

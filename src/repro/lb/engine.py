@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
 
 __all__ = ["vectorization_unsupported_reason", "run_vectorized", "VECTORIZED_DISCIPLINES"]
 
@@ -210,6 +211,13 @@ def run_vectorized(
     # sequential path when max_total_queue stops a run early.
     if hasattr(policy, "note_executed_steps"):
         policy.note_executed_steps(step + 1)
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("engine.vectorized.batches").inc()
+        registry.counter("engine.vectorized.steps").inc(step + 1)
+        if step + 1 < timesteps:
+            registry.counter("engine.vectorized.early_stops").inc()
 
     mean_queue = queue_length_sum / max(1, measured_steps)
     mean_wait = wait_sum / wait_count if wait_count else 0.0

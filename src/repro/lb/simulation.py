@@ -12,8 +12,9 @@ function of load ``N/M``.
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.lb.degradation import DegradationReport
 from repro.lb.policies import AssignmentPolicy
 from repro.net.packet import TaskType
 from repro.net.workload import BernoulliTaskMix
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.manifest import RunManifest
 from repro.sim.rng import RandomStreams
 
 __all__ = [
@@ -54,6 +58,10 @@ class SimulationResult:
         degradation: fault-plane observability when the policy degrades
             gracefully (a :class:`~repro.lb.degradation
             .DegradationReport`); ``None`` for fault-free policies.
+        manifest: provenance record for this run (a
+            :class:`~repro.obs.manifest.RunManifest`). Excluded from
+            equality so cross-engine and parallel/serial bit-identity
+            guarantees compare physics, not provenance.
     """
 
     mean_queue_length: float
@@ -63,6 +71,9 @@ class SimulationResult:
     timesteps: int
     load: float
     degradation: DegradationReport | None = None
+    manifest: RunManifest | None = field(
+        default=None, compare=False, repr=False
+    )
 
 
 def _serve_paper(queue: deque, now: int, waits: list[int]) -> int:
@@ -202,67 +213,143 @@ def run_timestep_simulation(
     )
     if engine == "vectorized" and reason is not None:
         raise ConfigurationError(f"vectorized engine unsupported: {reason}")
+    start = time.perf_counter()
     if engine != "reference" and reason is None:
-        result = _engine_mod.run_vectorized(
+        with _spans.span("engine.vectorized", steps=timesteps):
+            result = _engine_mod.run_vectorized(
+                policy,
+                workload,
+                workload_rng,
+                policy_rng,
+                timesteps=timesteps,
+                discipline=discipline,
+                warmup=warmup,
+                max_total_queue=max_total_queue,
+            )
+        return _finalize(
             policy,
-            workload,
-            workload_rng,
-            policy_rng,
+            result,
+            engine="vectorized",
+            seed=seed,
+            wall=time.perf_counter() - start,
             timesteps=timesteps,
             discipline=discipline,
-            warmup=warmup,
-            max_total_queue=max_total_queue,
+            p_colocate=p_colocate,
         )
-        return _attach_degradation(policy, result)
 
-    queues: list[deque] = [deque() for _ in range(num_servers)]
-    queue_length_sum = 0.0
-    waits: list[int] = []
-    served = 0
-    arrived = 0
-    measured_steps = 0
-    wants_feedback = policy.needs_queue_feedback()
+    with _spans.span("engine.reference", steps=timesteps):
+        queues: list[deque] = [deque() for _ in range(num_servers)]
+        queue_length_sum = 0.0
+        waits: list[int] = []
+        served = 0
+        arrived = 0
+        measured_steps = 0
+        wants_feedback = policy.needs_queue_feedback()
 
-    for step in range(timesteps):
-        measuring = step >= warmup
-        tasks = workload.draw(workload_rng)
-        choices = policy.assign(tasks, policy_rng)
-        for task, server in zip(tasks, choices):
-            if not 0 <= server < num_servers:
-                raise ConfigurationError(
-                    f"policy chose invalid server {server}"
-                )
-            queues[server].append((task, step))
-        if measuring:
-            arrived += len(tasks)
-        step_waits: list[int] = []
-        for queue in queues:
-            served_here = serve(queue, step, step_waits)
+        for step in range(timesteps):
+            measuring = step >= warmup
+            tasks = workload.draw(workload_rng)
+            choices = policy.assign(tasks, policy_rng)
+            for task, server in zip(tasks, choices):
+                if not 0 <= server < num_servers:
+                    raise ConfigurationError(
+                        f"policy chose invalid server {server}"
+                    )
+                queues[server].append((task, step))
             if measuring:
-                served += served_here
-        total_queued = sum(len(q) for q in queues)
-        if measuring:
-            waits.extend(step_waits)
-            queue_length_sum += total_queued / num_servers
-            measured_steps += 1
-        if wants_feedback:
-            policy.observe_queues([len(q) for q in queues])
-        if total_queued > max_total_queue:
-            break
+                arrived += len(tasks)
+            step_waits: list[int] = []
+            for queue in queues:
+                served_here = serve(queue, step, step_waits)
+                if measuring:
+                    served += served_here
+            total_queued = sum(len(q) for q in queues)
+            if measuring:
+                waits.extend(step_waits)
+                queue_length_sum += total_queued / num_servers
+                measured_steps += 1
+            if wants_feedback:
+                policy.observe_queues([len(q) for q in queues])
+            if total_queued > max_total_queue:
+                break
 
-    mean_queue = queue_length_sum / max(1, measured_steps)
-    mean_wait = float(np.mean(waits)) if waits else 0.0
-    return _attach_degradation(
-        policy,
-        SimulationResult(
+        mean_queue = queue_length_sum / max(1, measured_steps)
+        mean_wait = float(np.mean(waits)) if waits else 0.0
+        result = SimulationResult(
             mean_queue_length=mean_queue,
             mean_queueing_delay=mean_wait,
             served=served,
             arrived=arrived,
             timesteps=measured_steps,
             load=policy.num_balancers / num_servers,
-        ),
+        )
+    return _finalize(
+        policy,
+        result,
+        engine="reference",
+        seed=seed,
+        wall=time.perf_counter() - start,
+        timesteps=timesteps,
+        discipline=discipline,
+        p_colocate=p_colocate,
     )
+
+
+def _finalize(
+    policy: AssignmentPolicy,
+    result: SimulationResult,
+    *,
+    engine: str,
+    seed: int,
+    wall: float,
+    timesteps: int,
+    discipline: str,
+    p_colocate: float,
+) -> SimulationResult:
+    """Attach degradation + provenance and record run-level metrics.
+
+    Instrumentation happens once per run (not per step) so the
+    observability layer stays within its overhead budget; with the
+    registry disabled the result is returned bare, manifest and all.
+    """
+    result = _attach_degradation(policy, result)
+    registry = _metrics.get_registry()
+    if not registry.enabled:
+        return result
+    registry.counter("fig4.runs").inc()
+    registry.counter("fig4.steps").inc(result.timesteps)
+    registry.counter("fig4.arrived").inc(result.arrived)
+    registry.counter("fig4.served").inc(result.served)
+    registry.counter(f"fig4.engine.{engine}").inc()
+    registry.timer("fig4.run").observe(wall)
+    if wall > 0.0:
+        registry.gauge("fig4.steps_per_second").set(result.timesteps / wall)
+    degradation_dict = None
+    report = result.degradation
+    if report is not None:
+        registry.counter("fig4.decisions.quantum").inc(
+            report.quantum_decisions
+        )
+        registry.counter("fig4.decisions.fallback").inc(
+            report.fallback_decisions
+        )
+        degradation_dict = report.to_dict()
+    manifest = RunManifest.collect(
+        "simulation",
+        seeds=(int(seed),),
+        engine=engine,
+        config={
+            "num_balancers": policy.num_balancers,
+            "num_servers": policy.num_servers,
+            "timesteps": timesteps,
+            "discipline": discipline,
+            "p_colocate": p_colocate,
+        },
+        fault_config=getattr(policy, "fault_config", None),
+        degradation=degradation_dict,
+        wall_seconds=wall,
+    )
+    return replace(result, manifest=manifest)
 
 
 def _attach_degradation(

@@ -1,0 +1,62 @@
+"""Observability: metrics registry, tracing spans, and run manifests.
+
+The layer every engine reports through (``docs/observability.md``):
+
+- :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters/gauges/timers, mergeable across worker processes.
+- :mod:`repro.obs.spans` — hierarchical wall/CPU tracing spans.
+- :mod:`repro.obs.manifest` — :class:`RunManifest` provenance records
+  attached to simulation results, sweep reports, and CLI telemetry.
+"""
+
+from repro.obs.manifest import (
+    RunManifest,
+    VOLATILE_FIELDS,
+    environment_info,
+    git_revision,
+    mask_volatile,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+    capture,
+    disabled,
+    get_registry,
+    time_block,
+    timed,
+    use_registry,
+)
+from repro.obs.spans import (
+    Span,
+    clear_spans,
+    current_span,
+    finished_spans,
+    format_span_tree,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Timer",
+    "VOLATILE_FIELDS",
+    "capture",
+    "clear_spans",
+    "current_span",
+    "disabled",
+    "environment_info",
+    "finished_spans",
+    "format_span_tree",
+    "get_registry",
+    "git_revision",
+    "mask_volatile",
+    "span",
+    "time_block",
+    "timed",
+    "use_registry",
+]

@@ -1,0 +1,286 @@
+"""Process-wide metrics: counters, gauges, and timers that merge.
+
+The registry is the accounting backbone of the observability layer
+(see ``docs/observability.md`` for the metric-name catalogue). Three
+properties drive the design:
+
+1. **Cheap when on, free when off.** Instruments are plain attribute
+   bumps on interned objects; a run emits a handful of them, never one
+   per simulated step. :func:`disabled` swaps in a no-op registry so
+   benchmarks can measure the instrumentation itself.
+2. **Mergeable across processes.** A :meth:`MetricsRegistry.snapshot`
+   is plain picklable data and :meth:`MetricsRegistry.merge_snapshot`
+   folds it back in: counters add, timer stats combine, gauges take the
+   incoming value. ``SweepRunner`` uses exactly this to aggregate
+   per-worker metrics into the parent, with the invariant that the sum
+   of per-worker counters equals the counters of a serial run over the
+   same points.
+3. **Scoped capture.** :func:`capture` installs a fresh registry for a
+   ``with`` block and hands it back, so a sweep (or a test) can account
+   for exactly its own work and optionally propagate it outward.
+
+The registry is deliberately not thread-safe: the engines are
+process-parallel, and within a process instruments are only touched
+from the simulation thread.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "capture",
+    "disabled",
+    "get_registry",
+    "time_block",
+    "timed",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        """Add ``by`` occurrences."""
+        self.value += by
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Timer:
+    """Accumulated durations: count, total, min, and max seconds."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _Noop:
+    """Shared sink for disabled registries: every instrument no-ops."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, by: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+
+_NOOP = _Noop()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and timers.
+
+    Instruments are created on first access and interned by name, so
+    ``registry.counter("cache.hit")`` is stable and cheap to call from
+    hot seams. A registry constructed with ``enabled=False`` hands out
+    a shared no-op instrument and snapshots to empty dicts.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if new)."""
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if new)."""
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created if new)."""
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        found = self._timers.get(name)
+        if found is None:
+            found = self._timers[name] = Timer(name)
+        return found
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (picklable, mergeable)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "timers": {
+                n: {
+                    "count": t.count,
+                    "total": t.total,
+                    "min": t.min if t.count else None,
+                    "max": t.max if t.count else None,
+                }
+                for n, t in self._timers.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> "MetricsRegistry":
+        """Fold a :meth:`snapshot` in: counters and timer stats add,
+        gauges take the incoming value. Returns ``self``."""
+        if not self.enabled or not snapshot:
+            return self
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, stats in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.count += stats["count"]
+            timer.total += stats["total"]
+            if stats["min"] is not None and stats["min"] < timer.min:
+                timer.min = stats["min"]
+            if stats["max"] is not None and stats["max"] > timer.max:
+                timer.max = stats["max"]
+        return self
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (via its snapshot)."""
+        return self.merge_snapshot(other.snapshot())
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+
+#: Registry stack; the top is what :func:`get_registry` hands out. The
+#: bottom entry is the process-wide default that survives the process.
+_STACK: list[MetricsRegistry] = [MetricsRegistry()]
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry (process-wide by default)."""
+    return _STACK[-1]
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Install ``registry`` as current for the duration of the block."""
+    _STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _STACK.pop()
+
+
+@contextmanager
+def capture(propagate: bool = False):
+    """Run the block against a fresh registry and yield it.
+
+    With ``propagate=True`` the captured metrics are merged back into
+    the previously current registry on exit, so the capture observes
+    without hiding. The fresh registry inherits the parent's enabled
+    flag, so :func:`disabled` regions stay silent through captures.
+    """
+    parent = get_registry()
+    registry = MetricsRegistry(enabled=parent.enabled)
+    _STACK.append(registry)
+    try:
+        yield registry
+    finally:
+        _STACK.pop()
+        if propagate:
+            parent.merge(registry)
+
+
+@contextmanager
+def disabled():
+    """Turn telemetry off for the block (used by the overhead bench)."""
+    _STACK.append(MetricsRegistry(enabled=False))
+    try:
+        yield
+    finally:
+        _STACK.pop()
+
+
+@contextmanager
+def time_block(name: str):
+    """Observe the block's wall time on the current registry's timer."""
+    registry = get_registry()
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        registry.timer(name).observe(time.perf_counter() - start)
+
+
+def timed(name: str):
+    """Decorator form of :func:`time_block`."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with time_block(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

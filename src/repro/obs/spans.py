@@ -1,0 +1,142 @@
+"""Lightweight hierarchical tracing spans — no external dependencies.
+
+A span measures one region of work (wall *and* CPU seconds) and nests:
+entering ``span("point")`` inside ``span("fig4.sweep")`` attaches the
+point span as a child, so a run leaves behind a tree like::
+
+    fig4.sweep                      1.322s
+      point (seed=0)                0.661s
+        engine.vectorized           0.660s
+      point (seed=1)                0.659s
+        engine.vectorized           0.658s
+
+Finished root spans collect into a bounded ring buffer per process
+(:func:`finished_spans` / :func:`clear_spans`); worker-process spans are
+not shipped back to the parent — only metrics are (see
+:mod:`repro.obs.metrics`) — so span trees describe the process that
+recorded them. Spans respect :func:`repro.obs.metrics.disabled`: inside
+a disabled region nothing is timed or recorded.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "Span",
+    "clear_spans",
+    "current_span",
+    "finished_spans",
+    "format_span_tree",
+    "span",
+]
+
+#: Root spans kept per process; old roots fall off the back.
+MAX_FINISHED_ROOTS = 512
+
+
+@dataclass
+class Span:
+    """One timed region of work.
+
+    Attributes:
+        name: dotted region name (e.g. ``"engine.vectorized"``).
+        attributes: custom key/value annotations, settable during the
+            block via the object :func:`span` yields.
+        wall_seconds: elapsed wall-clock time (filled on exit).
+        cpu_seconds: elapsed process CPU time (filled on exit).
+        children: spans opened while this one was innermost.
+    """
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-data tree view (JSON-serializable)."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+_stack: list[Span] = []
+_finished: deque[Span] = deque(maxlen=MAX_FINISHED_ROOTS)
+_NULL_SPAN = Span("<disabled>")
+
+
+@contextmanager
+def span(name: str, **attributes):
+    """Open a child span of the innermost open span for the block.
+
+    Yields the :class:`Span` so the block can annotate it
+    (``sp.attributes["points"] = 12``). Exceptions propagate; the span
+    still records its elapsed time and lands in the tree.
+    """
+    if not get_registry().enabled:
+        yield _NULL_SPAN
+        return
+    entry = Span(name=name, attributes=dict(attributes))
+    _stack.append(entry)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    try:
+        yield entry
+    finally:
+        entry.wall_seconds = time.perf_counter() - wall_start
+        entry.cpu_seconds = time.process_time() - cpu_start
+        _stack.pop()
+        if _stack:
+            _stack[-1].children.append(entry)
+        else:
+            _finished.append(entry)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or ``None`` outside any span."""
+    return _stack[-1] if _stack else None
+
+
+def finished_spans() -> list[Span]:
+    """Completed root spans of this process, oldest first."""
+    return list(_finished)
+
+
+def clear_spans() -> None:
+    """Forget every finished root span (open spans are unaffected)."""
+    _finished.clear()
+
+
+def format_span_tree(spans: list[Span] | None = None, *, indent: int = 2) -> str:
+    """Human-readable rendering of span trees (CLI ``--telemetry summary``)."""
+    if spans is None:
+        spans = finished_spans()
+    lines: list[str] = []
+
+    def render(entry: Span, depth: int) -> None:
+        attrs = ""
+        if entry.attributes:
+            inner = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.attributes.items())
+            )
+            attrs = f" ({inner})"
+        lines.append(
+            f"{' ' * (indent * depth)}{entry.name}{attrs}  "
+            f"wall={entry.wall_seconds:.4f}s cpu={entry.cpu_seconds:.4f}s"
+        )
+        for child in entry.children:
+            render(child, depth + 1)
+
+    for root in spans:
+        render(root, 0)
+    return "\n".join(lines)

@@ -207,3 +207,117 @@ class TestCacheIntegration:
         SweepRunner(_counting_point, jobs=2, cache=cache).run(points)
         report = SweepRunner(_counting_point, jobs=2, cache=cache).run(points)
         assert report.cache_hits == 2
+
+    def test_cache_counters_track_hits_and_misses(self, tmp_path):
+        from repro.obs import capture
+
+        cache = ResultCache(tmp_path / "cache")
+        points = [({"tag": "c"}, s) for s in range(3)]
+        with capture() as cold:
+            SweepRunner(_identity_point, jobs=1, cache=cache).run(points)
+        assert cold.counter("cache.miss").value == 3
+        assert cold.counter("cache.put").value == 3
+        assert cold.counter("cache.hit").value == 0
+        with capture() as warm:
+            SweepRunner(_identity_point, jobs=1, cache=cache).run(points)
+        assert warm.counter("cache.hit").value == 3
+        assert warm.counter("cache.miss").value == 0
+
+
+class TestObservability:
+    def test_report_carries_manifest(self):
+        report = SweepRunner(_identity_point, jobs=1, label="mf").run(
+            [({"tag": "a"}, 3), ({"tag": "a"}, 5)]
+        )
+        manifest = report.manifest
+        assert manifest is not None
+        assert manifest.kind == "sweep"
+        assert manifest.seeds == (3, 5)
+        assert manifest.config["label"] == "mf"
+        assert manifest.config["jobs"] == 1
+        assert manifest.metrics["counters"]["sweep.points.computed"] == 2
+        assert manifest.wall_seconds > 0.0
+
+    def test_manifest_excluded_from_report_equality(self):
+        from dataclasses import replace
+
+        report = SweepRunner(_identity_point, jobs=1).run([({"tag": "a"}, 0)])
+        stripped = replace(report, manifest=None)
+        assert report == stripped
+
+    def test_disabled_metrics_skip_manifest(self):
+        from repro.obs import disabled
+
+        with disabled():
+            report = SweepRunner(_identity_point, jobs=1).run(
+                [({"tag": "a"}, 0)]
+            )
+        assert report.manifest is None
+
+    def test_parallel_counters_merge_exactly(self):
+        """The acceptance invariant: the sum of per-worker counters
+        equals a serial run's counters over the same points."""
+        from repro.obs import capture
+
+        points = [
+            ({"factory": RandomAssignment, "n": 12, "m": 10,
+              "timesteps": 60}, seed)
+            for seed in range(4)
+        ]
+        with capture() as serial_registry:
+            serial = SweepRunner(_simulate_point, jobs=1).run(points)
+        with capture() as parallel_registry:
+            parallel = SweepRunner(_simulate_point, jobs=4).run(points)
+        assert serial.values() == parallel.values()
+        serial_counters = serial_registry.snapshot()["counters"]
+        parallel_counters = parallel_registry.snapshot()["counters"]
+        assert serial_counters == parallel_counters
+        assert serial_counters["fig4.runs"] == 4  # workers reported in
+        # Timer observation counts merge exactly too (durations differ).
+        serial_timers = serial_registry.snapshot()["timers"]
+        parallel_timers = parallel_registry.snapshot()["timers"]
+        assert {n: t["count"] for n, t in serial_timers.items()} == {
+            n: t["count"] for n, t in parallel_timers.items()
+        }
+
+
+class TestWorkerUtilization:
+    def test_pure_cache_replay_reports_zero(self, tmp_path):
+        """Regression: utilization used to divide busy time by the whole
+        run's wall clock, so a warm-cache replay (nothing computed)
+        reported a meaningless near-zero busy fraction instead of a
+        clean 0.0, and mixed runs were diluted by cache-scan time."""
+        cache = ResultCache(tmp_path / "cache")
+        points = [({"tag": "u"}, s) for s in range(3)]
+        SweepRunner(_identity_point, jobs=1, cache=cache).run(points)
+        warm = SweepRunner(_identity_point, jobs=2, cache=cache).run(points)
+        assert warm.cache_hits == 3
+        assert warm.points_computed == 0
+        assert warm.worker_utilization == 0.0
+        assert warm.cache_hit_rate == 1.0
+        assert warm.compute_wall_clock == 0.0
+        assert warm.cache_seconds >= 0.0
+
+    def test_mixed_run_measures_compute_window_only(self, tmp_path):
+        """A run with 3 cached points and 2 slow computed points must
+        report utilization against the compute window, not against the
+        full wall clock inflated by the replay scan."""
+        cache = ResultCache(tmp_path / "cache")
+        fast = [({"sleep": 0.0}, s) for s in range(3)]
+        SweepRunner(_sleep_point, jobs=1, cache=cache).run(fast)
+        mixed = fast + [({"sleep": 0.12}, s) for s in (10, 11)]
+        report = SweepRunner(_sleep_point, jobs=1, cache=cache).run(mixed)
+        assert report.cache_hits == 3
+        assert report.points_computed == 2
+        assert report.compute_wall_clock > 0.0
+        assert report.compute_wall_clock <= report.wall_clock
+        # Two back-to-back 0.12s sleeps in a ~0.24s compute window:
+        # utilization must be high, not diluted toward busy/wall_clock.
+        assert report.worker_utilization > 0.8
+
+    def test_utilization_capacity_uses_effective_workers(self):
+        """jobs=8 with a single computed point must measure against one
+        worker's capacity, not eight idle ones."""
+        report = SweepRunner(_sleep_point, jobs=8).run([({"sleep": 0.1}, 0)])
+        assert report.points_computed == 1
+        assert report.worker_utilization > 0.5

@@ -33,30 +33,13 @@ from repro.lb import (
 )
 from repro.lb.degradation import PairFaultModel
 
-from tests.lb.test_engine import confidence_interval, run_pair
-
-
-def seeds_mean_queue(policy_factory, *, n=20, m=12, timesteps=200,
-                     num_seeds=20, engine="auto", **kwargs):
-    values = []
-    for seed in range(num_seeds):
-        result = run_timestep_simulation(
-            policy_factory(n, m, **kwargs),
-            timesteps=timesteps,
-            seed=seed,
-            engine=engine,
-        )
-        values.append(result.mean_queue_length)
-    return values
-
-
-def assert_ci_overlap(a_values, b_values, label):
-    a_low, a_high = confidence_interval(a_values)
-    b_low, b_high = confidence_interval(b_values)
-    assert a_low <= b_high and b_low <= a_high, (
-        f"{label}: CI [{a_low:.3f}, {a_high:.3f}] vs "
-        f"[{b_low:.3f}, {b_high:.3f}]"
-    )
+from tests._stattools import (
+    assert_ci_overlap,
+    assert_proportions_match,
+    confidence_interval,
+    run_pair,
+    seeds_mean_queue,
+)
 
 
 class TestFaultModels:
@@ -324,19 +307,36 @@ class TestEngineParity:
 
     def test_reports_agree_across_engines_in_distribution(self):
         rates = {"reference": [], "vectorized": []}
+        counts = {
+            "reference": {"quantum": 0, "pairs": 0},
+            "vectorized": {"quantum": 0, "pairs": 0},
+        }
         for seed in range(20):
             reference, vectorized = run_pair(
                 lambda n, m: make_degraded_chsh(n, m, availability=0.6),
                 timesteps=200, seed=seed,
             )
-            rates["reference"].append(
-                reference.degradation.quantum_decision_rate
-            )
-            rates["vectorized"].append(
-                vectorized.degradation.quantum_decision_rate
-            )
+            for name, result in (
+                ("reference", reference), ("vectorized", vectorized)
+            ):
+                report = result.degradation
+                rates[name].append(report.quantum_decision_rate)
+                counts[name]["quantum"] += report.quantum_decisions
+                counts[name]["pairs"] += report.pair_decisions
         assert_ci_overlap(
             rates["reference"], rates["vectorized"], "quantum rate"
+        )
+        # The pooled liveness draws must look like samples of the same
+        # Bernoulli(0.6): a two-proportion z-test across engines, with
+        # the Bonferroni guard covering the suite's two comparisons
+        # (this one and the per-seed CI overlap above).
+        assert_proportions_match(
+            counts["reference"]["quantum"],
+            counts["reference"]["pairs"],
+            counts["vectorized"]["quantum"],
+            counts["vectorized"]["pairs"],
+            "pooled quantum decisions across engines",
+            comparisons=2,
         )
 
 

@@ -35,6 +35,8 @@ from repro.lb import (
 from repro.net.trace import record_bernoulli_trace
 from repro.net.workload import BernoulliTaskMix
 
+from tests._stattools import assert_ci_overlap, run_pair
+
 EXACT_POLICIES = [RandomAssignment, RoundRobinAssignment]
 STOCHASTIC_POLICIES = [
     DedicatedPoolAssignment,
@@ -43,24 +45,6 @@ STOCHASTIC_POLICIES = [
     CHSHPairedAssignment,
 ]
 VEC_DISCIPLINES = ["paper", "serial"]
-
-
-def run_pair(policy_factory, *, n=20, m=12, timesteps=240, seed=0, **kwargs):
-    reference = run_timestep_simulation(
-        policy_factory(n, m), timesteps=timesteps, seed=seed,
-        engine="reference", **kwargs,
-    )
-    vectorized = run_timestep_simulation(
-        policy_factory(n, m), timesteps=timesteps, seed=seed,
-        engine="vectorized", **kwargs,
-    )
-    return reference, vectorized
-
-
-def confidence_interval(values):
-    values = np.asarray(values, dtype=float)
-    half = 1.96 * values.std(ddof=1) / np.sqrt(len(values))
-    return values.mean() - half, values.mean() + half
 
 
 class TestExactParity:
@@ -150,12 +134,10 @@ class TestDistributionalParity:
             )
             metrics["reference"].append(reference.mean_queue_length)
             metrics["vectorized"].append(vectorized.mean_queue_length)
-        ref_low, ref_high = confidence_interval(metrics["reference"])
-        vec_low, vec_high = confidence_interval(metrics["vectorized"])
-        assert ref_low <= vec_high and vec_low <= ref_high, (
-            f"{policy_factory.__name__}/{discipline}: reference CI "
-            f"[{ref_low:.3f}, {ref_high:.3f}] vs vectorized "
-            f"[{vec_low:.3f}, {vec_high:.3f}]"
+        assert_ci_overlap(
+            metrics["reference"],
+            metrics["vectorized"],
+            f"{policy_factory.__name__}/{discipline}",
         )
 
     def test_odd_balancers_paired_policy(self):
@@ -166,9 +148,7 @@ class TestDistributionalParity:
             )
             ref_values.append(reference.mean_queue_length)
             vec_values.append(vectorized.mean_queue_length)
-        ref_low, ref_high = confidence_interval(ref_values)
-        vec_low, vec_high = confidence_interval(vec_values)
-        assert ref_low <= vec_high and vec_low <= ref_high
+        assert_ci_overlap(ref_values, vec_values, "odd balancers paired")
 
     def test_sticky_pairs_stay_fixed_in_batch(self):
         policy = CHSHPairedAssignment(12, 8)

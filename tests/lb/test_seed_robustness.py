@@ -1,0 +1,67 @@
+"""Seed-robustness for the Fig 4 acceptance claims.
+
+Each headline claim is re-asserted across >= 5 seeds through the
+bootstrap-CI helpers in ``tests/_stattools.py`` — a claim must hold as
+a property of the policy distribution, not of one lucky seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lb import (
+    CHSHPairedAssignment,
+    ClassicalPairedAssignment,
+    RandomAssignment,
+    make_degraded_chsh,
+)
+
+from tests._stattools import (
+    assert_bootstrap_dominates,
+    bootstrap_ci,
+    seeds_mean_queue,
+)
+
+#: Seeds per claim; the floor the issue sets is 5.
+NUM_SEEDS = 6
+
+#: Knee operating point (load 1.25) scaled down for test runtime.
+KNEE = dict(n=20, m=16, timesteps=400, num_seeds=NUM_SEEDS)
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_quantum_beats_random_across_seeds(engine):
+    quantum = seeds_mean_queue(CHSHPairedAssignment, engine=engine, **KNEE)
+    random = seeds_mean_queue(RandomAssignment, engine=engine, **KNEE)
+    assert_bootstrap_dominates(
+        quantum, random, label=f"quantum vs random ({engine})"
+    )
+
+
+def test_quantum_beats_classical_paired_across_seeds():
+    quantum = seeds_mean_queue(CHSHPairedAssignment, **KNEE)
+    classical = seeds_mean_queue(ClassicalPairedAssignment, **KNEE)
+    assert_bootstrap_dominates(
+        quantum, classical, label="quantum vs classical paired"
+    )
+
+
+def test_full_availability_beats_dead_supply_across_seeds():
+    live = seeds_mean_queue(
+        lambda n, m: make_degraded_chsh(n, m, availability=1.0), **KNEE
+    )
+    dead = seeds_mean_queue(
+        lambda n, m: make_degraded_chsh(n, m, availability=0.0), **KNEE
+    )
+    assert_bootstrap_dominates(
+        live, dead, label="availability 1.0 vs 0.0"
+    )
+
+
+def test_bootstrap_ci_brackets_the_sample_mean():
+    values = seeds_mean_queue(RandomAssignment, **KNEE)
+    mean, low, high = bootstrap_ci(values)
+    assert low <= mean <= high
+    assert low > 0.0  # overloaded: queues are strictly positive
+    # Same seed, same CI: the helper must be deterministic for CI logs.
+    assert bootstrap_ci(values) == (mean, low, high)

@@ -1,0 +1,88 @@
+"""Golden-file regression test for CLI telemetry.
+
+Runs ``python -m repro fig4 --telemetry json:PATH`` at smoke scale and
+diffs the volatile-masked payload against the checked-in golden. The
+masked payload pins everything deterministic — counters, seeds, config,
+span-tree structure — while timestamps, SHAs, hostnames, gauge values,
+and durations are replaced by ``<masked>``.
+
+To regenerate after an intentional telemetry change::
+
+    PYTHONPATH=src python -m repro fig4 --balancers 10 --steps 60 \
+        --loads 1.0 1.25 --jobs 1 --seed 0 --telemetry json:/tmp/t.json
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.obs import mask_volatile
+    payload = mask_volatile(json.load(open('/tmp/t.json')))
+    with open('tests/obs/golden_manifest.json', 'w') as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write('\n')
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs import mask_volatile
+
+GOLDEN = Path(__file__).parent / "golden_manifest.json"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+SMOKE_ARGS = [
+    "fig4",
+    "--balancers", "10",
+    "--steps", "60",
+    "--loads", "1.0", "1.25",
+    "--jobs", "1",
+    "--seed", "0",
+]
+
+
+def _run_smoke_cli(tmp_path) -> dict:
+    out = tmp_path / "telemetry.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *SMOKE_ARGS,
+         "--telemetry", f"json:{out}"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert f"telemetry written to {out}" in proc.stdout
+    with open(out, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_masked_telemetry_matches_golden(tmp_path):
+    payload = _run_smoke_cli(tmp_path)
+    masked = mask_volatile(payload)
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert masked == golden
+
+
+def test_raw_payload_has_unmasked_provenance(tmp_path):
+    """The raw (unmasked) emission carries real provenance values."""
+    payload = _run_smoke_cli(tmp_path)
+    manifest = payload["manifest"]
+    assert manifest["kind"] == "cli"
+    assert manifest["created_at"] != "<masked>"
+    assert manifest["wall_seconds"] > 0.0
+    assert manifest["numpy_version"].count(".") >= 1
+    # The span tree descends cli -> sweep -> point -> engine.
+    (root,) = payload["spans"]
+    assert root["name"] == "cli.fig4"
+    sweep_names = [c["name"] for c in root["children"]]
+    assert all(name.startswith("sweep.") for name in sweep_names)
+    point = root["children"][0]["children"][0]
+    assert point["name"] == "point"
+    assert point["children"][0]["name"].startswith("engine.")

@@ -1,0 +1,191 @@
+"""Unit + integration tests for RunManifest and volatile masking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lb import (
+    RandomAssignment,
+    make_degraded_chsh,
+    run_timestep_simulation,
+    sweep_load_detailed,
+)
+from repro.obs import (
+    RunManifest,
+    VOLATILE_FIELDS,
+    capture,
+    disabled,
+    environment_info,
+    git_revision,
+    mask_volatile,
+)
+from repro.obs.manifest import DEFAULT_MASK
+
+
+class TestCollect:
+    def test_environment_fields_filled(self):
+        manifest = RunManifest.collect("simulation", seeds=(1, 2))
+        env = environment_info()
+        assert manifest.kind == "simulation"
+        assert manifest.git_sha == env["git_sha"]
+        assert manifest.numpy_version == env["numpy_version"]
+        assert manifest.seeds == (1, 2)
+        assert "T" in manifest.created_at  # ISO-8601
+
+    def test_environment_info_is_cached(self):
+        assert environment_info() is environment_info()
+
+    def test_git_revision_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        git_revision.cache_clear()
+        environment_info.cache_clear()
+        try:
+            assert git_revision() == "cafebabe"
+        finally:
+            git_revision.cache_clear()
+            environment_info.cache_clear()
+
+    def test_to_json_round_trips(self):
+        manifest = RunManifest.collect(
+            "cli", seeds=(0,), engine="auto", config={"steps": 10},
+        )
+        payload = json.loads(manifest.to_json())
+        assert payload["kind"] == "cli"
+        assert payload["seeds"] == [0]
+        assert payload["config"] == {"steps": 10}
+
+
+class TestMasking:
+    def test_masked_hides_volatile_keeps_deterministic(self):
+        manifest = RunManifest.collect(
+            "sweep",
+            seeds=(3, 4),
+            config={"jobs": 2},
+            cache_hits=1,
+            cache_misses=5,
+            metrics={
+                "counters": {"sweep.runs": 1},
+                "gauges": {"sweep.worker_utilization": 0.93},
+                "timers": {
+                    "sweep.point": {
+                        "count": 5, "total": 1.2, "min": 0.1, "max": 0.4,
+                    }
+                },
+            },
+            wall_seconds=9.87,
+        )
+        masked = manifest.masked()
+        for volatile in VOLATILE_FIELDS:
+            assert masked[volatile] == DEFAULT_MASK, volatile
+        assert masked["seeds"] == [3, 4]
+        assert masked["config"] == {"jobs": 2}
+        assert masked["cache_hits"] == 1 and masked["cache_misses"] == 5
+        metrics = masked["metrics"]
+        assert metrics["counters"] == {"sweep.runs": 1}
+        assert metrics["gauges"] == {"sweep.worker_utilization": DEFAULT_MASK}
+        assert metrics["timers"]["sweep.point"]["count"] == 5
+        assert metrics["timers"]["sweep.point"]["total"] == DEFAULT_MASK
+
+    def test_mask_full_cli_payload(self):
+        payload = {
+            "manifest": RunManifest.collect("cli").to_dict(),
+            "spans": [
+                {
+                    "name": "cli.fig4",
+                    "attributes": {},
+                    "wall_seconds": 1.23,
+                    "cpu_seconds": 1.11,
+                    "children": [
+                        {
+                            "name": "sweep.fig4",
+                            "attributes": {"points": 2},
+                            "wall_seconds": 1.0,
+                            "cpu_seconds": 0.9,
+                            "children": [],
+                        }
+                    ],
+                }
+            ],
+        }
+        masked = mask_volatile(payload)
+        assert masked["manifest"]["git_sha"] == DEFAULT_MASK
+        root = masked["spans"][0]
+        assert root["wall_seconds"] == DEFAULT_MASK
+        assert root["children"][0]["cpu_seconds"] == DEFAULT_MASK
+        assert root["children"][0]["attributes"] == {"points": 2}
+
+    def test_masking_is_deterministic_across_runs(self):
+        a = RunManifest.collect("cli", seeds=(1,), config={"x": 1})
+        b = RunManifest.collect("cli", seeds=(1,), config={"x": 1})
+        assert a.masked() == b.masked()  # only volatile parts differed
+
+
+class TestAttachment:
+    """Every simulation result and sweep report carries a manifest."""
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_simulation_result_carries_manifest(self, engine):
+        result = run_timestep_simulation(
+            RandomAssignment(8, 6), timesteps=40, seed=1, engine=engine
+        )
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.kind == "simulation"
+        assert manifest.engine == engine
+        assert manifest.seeds == (1,)
+        assert manifest.config["timesteps"] == 40
+        assert manifest.fault_config is None
+        assert manifest.wall_seconds > 0.0
+
+    def test_degraded_manifest_carries_fault_plane(self):
+        result = run_timestep_simulation(
+            make_degraded_chsh(10, 8, availability=0.5),
+            timesteps=40,
+            seed=2,
+        )
+        manifest = result.manifest
+        assert manifest.fault_config["model"] == "BernoulliPairFaults"
+        assert manifest.fault_config["availability"] == 0.5
+        assert manifest.degradation["pair_decisions"] > 0
+        assert (
+            manifest.degradation["quantum_decisions"]
+            + manifest.degradation["fallback_decisions"]
+            == manifest.degradation["pair_decisions"]
+        )
+
+    def test_manifest_excluded_from_equality(self):
+        with capture():
+            a = run_timestep_simulation(
+                RandomAssignment(8, 6), timesteps=40, seed=1
+            )
+        with disabled():
+            b = run_timestep_simulation(
+                RandomAssignment(8, 6), timesteps=40, seed=1
+            )
+        assert a.manifest is not None and b.manifest is None
+        assert a == b
+
+    def test_disabled_runs_carry_no_manifest(self):
+        with disabled():
+            result = run_timestep_simulation(
+                RandomAssignment(8, 6), timesteps=40, seed=1
+            )
+        assert result.manifest is None
+
+    def test_sweep_report_carries_manifest(self):
+        points, report = sweep_load_detailed(
+            RandomAssignment,
+            num_balancers=8,
+            loads=(1.0, 1.25),
+            timesteps=30,
+            jobs=1,
+        )
+        manifest = report.manifest
+        assert manifest is not None
+        assert manifest.kind == "sweep"
+        assert len(manifest.seeds) == 2
+        assert manifest.config["points"] == 2
+        assert manifest.metrics["counters"]["sweep.points.computed"] == 2
+        assert manifest.metrics["counters"]["fig4.runs"] == 2

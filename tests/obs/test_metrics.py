@@ -1,0 +1,200 @@
+"""Unit tests for the metrics registry: instruments, snapshots, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    capture,
+    disabled,
+    get_registry,
+    time_block,
+    timed,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_instruments_are_interned_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("x") is registry.gauge("x")
+        assert registry.timer("x") is registry.timer("x")
+        # Different kinds under the same name stay distinct objects.
+        assert registry.counter("x") is not registry.gauge("x")
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(1.5)
+        assert registry.gauge("g").value == 1.5
+
+    def test_timer_stats(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        for seconds in (0.2, 0.4, 0.6):
+            timer.observe(seconds)
+        assert timer.count == 3
+        assert timer.total == pytest.approx(1.2)
+        assert timer.min == pytest.approx(0.2)
+        assert timer.max == pytest.approx(0.6)
+        assert timer.mean == pytest.approx(0.4)
+
+    def test_timer_mean_before_observations(self):
+        assert MetricsRegistry().timer("t").mean == 0.0
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7.0)
+        registry.timer("t").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["timers"]["t"]["total"] == pytest.approx(0.5)
+
+    def test_empty_timer_snapshot_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.timer("t")  # created, never observed
+        snap = registry.snapshot()
+        assert snap["timers"]["t"] == {
+            "count": 0, "total": 0.0, "min": None, "max": None,
+        }
+
+    def test_merge_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        b.counter("only_b").inc()
+        a.merge(b)
+        assert a.counter("c").value == 7
+        assert a.counter("only_b").value == 1
+
+    def test_merge_timers_combine(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.timer("t").observe(0.1)
+        a.timer("t").observe(0.5)
+        b.timer("t").observe(0.3)
+        a.merge(b)
+        timer = a.timer("t")
+        assert timer.count == 3
+        assert timer.total == pytest.approx(0.9)
+        assert timer.min == pytest.approx(0.1)
+        assert timer.max == pytest.approx(0.5)
+
+    def test_merge_gauges_take_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.gauge("g").value == 2.0
+
+    def test_merge_is_associative_on_counters(self):
+        snaps = []
+        for amount in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(amount)
+            snaps.append(registry.snapshot())
+        left = MetricsRegistry()
+        for snap in snaps:
+            left.merge_snapshot(snap)
+        right = MetricsRegistry()
+        for snap in reversed(snaps):
+            right.merge_snapshot(snap)
+        assert left.snapshot()["counters"] == right.snapshot()["counters"]
+
+    def test_merge_empty_snapshot_is_noop(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.merge_snapshot({})
+        assert registry.counter("c").value == 1
+
+    def test_snapshot_is_picklable(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.timer("t").observe(0.25)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+
+
+class TestScoping:
+    def test_capture_isolates(self):
+        outer = get_registry()
+        before = outer.counter("iso").value if outer.enabled else 0
+        with capture() as inner:
+            get_registry().counter("iso").inc(5)
+            assert inner.counter("iso").value == 5
+        assert get_registry() is outer
+        assert outer.counter("iso").value == before  # no propagation
+
+    def test_capture_propagates_on_request(self):
+        with capture() as outer:
+            with capture(propagate=True):
+                get_registry().counter("c").inc(3)
+            assert outer.counter("c").value == 3
+
+    def test_use_registry_installs(self):
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+            get_registry().counter("c").inc()
+        assert mine.counter("c").value == 1
+        assert get_registry() is not mine
+
+    def test_disabled_registry_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(1.0)
+        registry.timer("t").observe(0.1)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }
+
+    def test_disabled_context(self):
+        with disabled():
+            assert not get_registry().enabled
+            get_registry().counter("c").inc()
+            assert get_registry().snapshot()["counters"] == {}
+
+    def test_capture_inherits_disabled(self):
+        with disabled():
+            with capture() as inner:
+                assert not inner.enabled
+
+
+class TestTiming:
+    def test_time_block_observes(self):
+        with capture() as registry:
+            with time_block("work"):
+                pass
+        assert registry.timer("work").count == 1
+        assert registry.timer("work").total >= 0.0
+
+    def test_timed_decorator(self):
+        @timed("fn.work")
+        def work(x):
+            return x * 2
+
+        with capture() as registry:
+            assert work(21) == 42
+        assert registry.timer("fn.work").count == 1

@@ -1,0 +1,122 @@
+"""Unit tests for hierarchical tracing spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    clear_spans,
+    current_span,
+    disabled,
+    finished_spans,
+    format_span_tree,
+    span,
+)
+from repro.obs.spans import MAX_FINISHED_ROOTS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_spans():
+    clear_spans()
+    yield
+    clear_spans()
+
+
+class TestNesting:
+    def test_root_span_lands_in_finished(self):
+        with span("root"):
+            pass
+        roots = finished_spans()
+        assert [s.name for s in roots] == ["root"]
+        assert roots[0].wall_seconds >= 0.0
+        assert roots[0].cpu_seconds >= 0.0
+
+    def test_children_attach_to_parent(self):
+        with span("outer"):
+            with span("inner.a"):
+                pass
+            with span("inner.b"):
+                with span("leaf"):
+                    pass
+        (root,) = finished_spans()
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in root.children[1].children] == ["leaf"]
+
+    def test_current_span_tracks_innermost(self):
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_attributes_via_kwargs_and_object(self):
+        with span("work", points=3) as entry:
+            entry.attributes["phase"] = "compute"
+        (root,) = finished_spans()
+        assert root.attributes == {"points": 3, "phase": "compute"}
+
+    def test_exception_still_records(self):
+        with pytest.raises(ValueError):
+            with span("fails"):
+                raise ValueError("boom")
+        (root,) = finished_spans()
+        assert root.name == "fails"
+        assert root.wall_seconds >= 0.0
+
+    def test_ring_buffer_bounds_roots(self):
+        for index in range(MAX_FINISHED_ROOTS + 10):
+            with span(f"r{index}"):
+                pass
+        roots = finished_spans()
+        assert len(roots) == MAX_FINISHED_ROOTS
+        assert roots[-1].name == f"r{MAX_FINISHED_ROOTS + 9}"
+
+    def test_clear_spans(self):
+        with span("gone"):
+            pass
+        clear_spans()
+        assert finished_spans() == []
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        with disabled():
+            with span("invisible") as entry:
+                assert entry.name == "<disabled>"
+        assert finished_spans() == []
+
+    def test_disabled_inside_enabled_tree(self):
+        with span("outer"):
+            with disabled():
+                with span("hidden"):
+                    pass
+        (root,) = finished_spans()
+        assert root.children == []
+
+
+class TestSerialization:
+    def test_to_dict_tree(self):
+        with span("outer", n=1):
+            with span("inner"):
+                pass
+        (root,) = finished_spans()
+        payload = root.to_dict()
+        assert payload["name"] == "outer"
+        assert payload["attributes"] == {"n": 1}
+        assert payload["children"][0]["name"] == "inner"
+        assert isinstance(payload["wall_seconds"], float)
+
+    def test_format_span_tree(self):
+        with span("outer", points=2):
+            with span("inner"):
+                pass
+        rendered = format_span_tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer (points=2)")
+        assert lines[1].startswith("  inner")
+        assert "wall=" in lines[0] and "cpu=" in lines[0]
+
+    def test_format_empty(self):
+        assert format_span_tree([]) == ""

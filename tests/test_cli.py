@@ -125,3 +125,49 @@ class TestCommands:
         )
         assert code == 0
         assert "NO" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_off_by_default(self, capsys):
+        assert main(["chsh"]) == 0
+        assert "telemetry" not in capsys.readouterr().out
+
+    def test_summary_prints_manifest_and_spans(self, capsys):
+        code = main(
+            ["fig4", "--balancers", "8", "--steps", "40", "--loads", "1.0",
+             "--jobs", "1", "--telemetry", "summary"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== telemetry ==" in out
+        assert '"kind": "cli"' in out
+        assert '"fig4.runs": 2' in out
+        assert "cli.fig4" in out  # the span tree root
+        assert "wall=" in out
+
+    def test_json_writes_payload(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "t.json"
+        code = main(
+            ["fig4", "--balancers", "8", "--steps", "40", "--loads", "1.0",
+             "--jobs", "1", "--telemetry", f"json:{out_path}"]
+        )
+        assert code == 0
+        assert f"telemetry written to {out_path}" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["manifest"]["kind"] == "cli"
+        assert payload["manifest"]["seeds"] == [0]
+        assert payload["spans"][0]["name"] == "cli.fig4"
+
+    def test_telemetry_works_on_simple_commands(self, capsys):
+        assert main(["chsh", "--telemetry", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "== telemetry ==" in out
+        assert '"command": "chsh"' in out
+
+    def test_bad_telemetry_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chsh", "--telemetry", "loud"])
+        with pytest.raises(SystemExit):
+            main(["chsh", "--telemetry", "json:"])
