@@ -14,12 +14,20 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
+import numpy as np
+
 from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
-from repro.analysis import FigureData, format_figure
+from repro.analysis import FigureData, format_figure, format_table
 from repro.exec import SweepRunner
 from repro.games import (
+    advantage_decisions,
     advantage_probability,
     random_affinity_graph,
+    screen_advantage_batch,
     xor_game_from_graph,
     xor_quantum_value,
 )
@@ -68,8 +76,6 @@ def bench_fig3_advantage_curve(benchmark):
     assert max(probabilities[3:8]) > 0.4, "most mid-range graphs show advantage"
 
     # Timed kernel: one full classical+quantum value computation.
-    import numpy as np
-
     kernel_rng = np.random.default_rng(7)
     graph = random_affinity_graph(5, 0.5, kernel_rng)
     game = xor_game_from_graph(graph)
@@ -109,9 +115,126 @@ def bench_fig3_vertex_scaling(benchmark):
         "advantage probability should not shrink with more vertices"
     )
 
-    import numpy as np
-
     kernel_rng = np.random.default_rng(13)
     benchmark(
         lambda: advantage_probability(4, 0.5, 2, kernel_rng)
+    )
+
+
+def bench_fig3_batched_cascade(benchmark):
+    """Race the screening cascade against the per-game reference loop.
+
+    Every point samples identical games for both methods (same
+    :class:`RandomStreams` substream) and the per-game verdict arrays
+    must match exactly — the speedup only counts if the decisions are
+    bit-identical. At full scale (200 games/point) the cascade must win
+    by >=10x; at smoke scale the gate degrades to "not slower".
+
+    A trajectory file (``BENCH_fig3.json``, override via
+    ``REPRO_BENCH_FIG3_JSON``) records per-point times, speedups, and
+    cascade-stage hit counts; CI uploads it next to
+    ``BENCH_engine.json``.
+    """
+    games = scaled(200, 10)
+    full_scale = games >= 200
+    p_values = [0.0, 0.15, 0.3, 0.5, 0.7, 0.85, 1.0]
+
+    def point_rng(p):
+        return RandomStreams(42).stream(f"fig3:v=5:p={p}")
+
+    rows = []
+    trajectory = {
+        "benchmark": "fig3_batched_cascade",
+        "vertices": 5,
+        "games_per_point": games,
+        "full_scale": full_scale,
+        "points": [],
+    }
+    stage_totals = {"perfect": 0, "lower": 0, "upper": 0, "sdp": 0}
+    total_reference = 0.0
+    total_batched = 0.0
+    for p in p_values:
+        start = time.perf_counter()
+        reference = advantage_decisions(
+            5, p, games, point_rng(p), method="reference"
+        )
+        reference_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        report = screen_advantage_batch(5, p, games, point_rng(p))
+        batched_seconds = time.perf_counter() - start
+
+        assert np.array_equal(report.verdicts, reference), (
+            f"batched cascade changed a verdict at p={p}"
+        )
+        speedup = reference_seconds / batched_seconds
+        total_reference += reference_seconds
+        total_batched += batched_seconds
+        counts = report.stage_counts()
+        for stage, count in counts.items():
+            stage_totals[stage] += count
+        rows.append(
+            [
+                p,
+                report.advantage_probability,
+                reference_seconds,
+                batched_seconds,
+                speedup,
+                counts["sdp"],
+            ]
+        )
+        trajectory["points"].append(
+            {
+                "p_exclusive": p,
+                "advantage_probability": report.advantage_probability,
+                "reference_seconds": reference_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": speedup,
+                "stage_counts": counts,
+            }
+        )
+
+    total_games = games * len(p_values)
+    overall_speedup = total_reference / total_batched
+    screened = total_games - stage_totals["sdp"]
+    cascade_efficiency = screened / total_games
+    trajectory["total_reference_seconds"] = total_reference
+    trajectory["total_batched_seconds"] = total_batched
+    trajectory["speedup"] = overall_speedup
+    trajectory["stage_totals"] = stage_totals
+    trajectory["cascade_efficiency"] = cascade_efficiency
+
+    body = format_table(
+        ["p", "P(adv)", "reference s", "batched s", "speedup", "to SDP"],
+        rows,
+        float_format="{:.4f}",
+    )
+    body += (
+        f"\n\n{games} games/point (REPRO_BENCH_SCALE); overall speedup "
+        f"{overall_speedup:.1f}x, target >=10x at full scale"
+        f"\ncascade efficiency: {cascade_efficiency:.1%} decided without "
+        f"an SDP ({stage_totals['sdp']}/{total_games} escalated); stages "
+        f"perfect={stage_totals['perfect']} lower={stage_totals['lower']} "
+        f"upper={stage_totals['upper']} sdp={stage_totals['sdp']}"
+        f"\nper-game decisions: bit-identical to the reference on all "
+        f"{total_games} games"
+    )
+    print_block("Fig 3 — batched cascade vs reference pipeline", body)
+
+    out_path = os.environ.get("REPRO_BENCH_FIG3_JSON", "BENCH_fig3.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+    required = 10.0 if full_scale else 1.0
+    assert overall_speedup >= required, (
+        f"cascade speedup {overall_speedup:.2f}x below the "
+        f"{required:.0f}x gate"
+    )
+
+    # Timed kernel: one mid-curve batched screen.
+    benchmark(
+        lambda: screen_advantage_batch(
+            5, 0.5, 10, np.random.default_rng(5)
+        )
     )

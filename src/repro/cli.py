@@ -76,6 +76,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="P(edge exclusive) grid")
     fig3.add_argument("--vertices", type=int, default=5)
     fig3.add_argument("--seed", type=int, default=0)
+    fig3.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for the sweep (default: "
+                      "REPRO_JOBS, then CPU count; results are "
+                      "bit-identical to a serial run)")
+    fig3.add_argument("--method", choices=("auto", "reference", "batched"),
+                      default="auto",
+                      help="per-point pipeline: 'batched' runs the "
+                      "screening cascade + stacked ADMM, 'reference' the "
+                      "serial per-game SDP loop, 'auto' the cascade "
+                      "(per-game decisions are identical either way; "
+                      "see docs/reproducing.md)")
+    fig3.add_argument("--no-cache", action="store_true",
+                      help="skip the content-addressed result cache "
+                      "(REPRO_CACHE_DIR, default .repro_cache)")
 
     fig4 = sub.add_parser(
         "fig4", help="Fig 4: queue length vs load", parents=[telemetry]
@@ -186,15 +200,57 @@ def _cmd_chsh() -> None:
     )
 
 
+def _fig3_point(config: dict, seed: int) -> float:
+    """One Fig 3 sweep point: advantage probability at one (vertices, p).
+
+    The point's RNG derives from the root seed and the point's own
+    parameters through :class:`~repro.sim.RandomStreams`, so every point
+    is a pure function of (config, seed): values do not depend on point
+    order or on which other points run (regression-tested), and the
+    stream name matches the Fig 3 benchmark's derivation.
+    """
+    from repro.games import advantage_probability
+    from repro.sim import RandomStreams
+
+    rng = RandomStreams(seed).stream(
+        f"fig3:v={config['vertices']}:p={config['p']}"
+    )
+    return advantage_probability(
+        config["vertices"],
+        config["p"],
+        config["games"],
+        rng,
+        method=config["method"],
+    )
+
+
 def _cmd_fig3(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
-    from repro.games import advantage_probability
+    from repro.exec import SweepRunner
 
-    rng = np.random.default_rng(args.seed)
-    rows = []
-    for p in args.points:
-        prob = advantage_probability(args.vertices, p, args.games, rng)
-        rows.append([p, prob])
+    runner = SweepRunner(
+        _fig3_point,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        label="fig3",
+    )
+    report = runner.run(
+        [
+            (
+                {
+                    "vertices": args.vertices,
+                    "p": float(p),
+                    "games": args.games,
+                    "method": args.method,
+                },
+                args.seed,
+            )
+            for p in args.points
+        ]
+    )
+    rows = [
+        [p, prob] for p, prob in zip(args.points, report.values())
+    ]
     print(
         format_table(
             ["P(edge exclusive)", "P(quantum advantage)"],

@@ -45,7 +45,11 @@ __all__ = [
 #: v2: SimulationResult grew a ``degradation`` field; cached pickles
 #: from v1 would deserialize without it and confuse consumers.
 #: v3: SimulationResult grew a ``manifest`` field (observability layer).
-CACHE_VERSION = 3
+#: v4: Fig 3 batched screening pipeline — ``advantage_probability`` grew
+#: a ``method`` parameter and the fig3 CLI now caches its points; the
+#: work-function fingerprint does not chase transitive imports, so the
+#: pipeline change must invalidate old Fig 3 entries here.
+CACHE_VERSION = 4
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit

@@ -31,8 +31,18 @@ from repro.games.chsh import (
     optimal_classical_strategy,
     optimal_quantum_strategy,
 )
+from repro.games.batch import (
+    CascadeReport,
+    GameBatch,
+    alternating_lower_bound_batch,
+    classical_bias_batch,
+    sample_game_batch,
+    screen_advantage_batch,
+    screen_game_batch,
+)
 from repro.games.graph_games import (
     AffinityGraph,
+    advantage_decisions,
     advantage_probability,
     random_affinity_graph,
     xor_game_from_graph,
@@ -96,8 +106,16 @@ __all__ = [
     "optimal_classical_strategy",
     "optimal_quantum_strategy",
     "AffinityGraph",
+    "CascadeReport",
+    "GameBatch",
+    "advantage_decisions",
     "advantage_probability",
+    "alternating_lower_bound_batch",
+    "classical_bias_batch",
     "random_affinity_graph",
+    "sample_game_batch",
+    "screen_advantage_batch",
+    "screen_game_batch",
     "xor_game_from_graph",
     "MultiplayerQuantumStrategy",
     "MultiplayerXORGame",

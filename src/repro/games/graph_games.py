@@ -23,8 +23,12 @@ __all__ = [
     "AffinityGraph",
     "random_affinity_graph",
     "xor_game_from_graph",
+    "advantage_decisions",
     "advantage_probability",
 ]
+
+#: Accepted ``method`` values for the Fig 3 advantage computations.
+ADVANTAGE_METHODS = ("auto", "reference", "batched")
 
 
 class AffinityGraph:
@@ -165,6 +169,65 @@ def xor_game_from_graph(
     )
 
 
+def advantage_decisions(
+    num_types: int,
+    p_exclusive: float,
+    num_games: int,
+    rng: np.random.Generator,
+    *,
+    threshold: float = 1e-5,
+    include_diagonal: bool = False,
+    tolerance: float = 1e-8,
+    method: str = "auto",
+) -> np.ndarray:
+    """Per-game advantage verdicts for one Fig 3 point.
+
+    ``method`` selects the pipeline:
+
+    - ``"reference"`` — the serial loop: one graph, one full Tsirelson
+      SDP per game via :func:`~repro.games.quantum_value.has_quantum_advantage`.
+    - ``"batched"`` — the screening cascade over the whole batch
+      (:func:`repro.games.batch.screen_advantage_batch`): exact batched
+      classical bias, heuristic lower / dual upper screens, stacked
+      ADMM only for the undecided residue.
+    - ``"auto"`` (default) — the batched cascade; it samples the same
+      games from ``rng`` and returns the same per-game verdicts.
+
+    Both paths consume ``rng`` identically, so verdict arrays are
+    comparable game-by-game across methods.
+    """
+    if num_games < 1:
+        raise GameError("need at least one game")
+    if method not in ADVANTAGE_METHODS:
+        raise GameError(
+            f"unknown method {method!r}; expected one of {ADVANTAGE_METHODS}"
+        )
+    if method in ("auto", "batched"):
+        from repro.games.batch import screen_advantage_batch
+
+        report = screen_advantage_batch(
+            num_types,
+            p_exclusive,
+            num_games,
+            rng,
+            threshold=threshold,
+            include_diagonal=include_diagonal,
+            tolerance=tolerance,
+        )
+        return report.verdicts.copy()
+
+    from repro.games.quantum_value import has_quantum_advantage
+
+    verdicts = np.zeros(num_games, dtype=bool)
+    for index in range(num_games):
+        affinity = random_affinity_graph(num_types, p_exclusive, rng)
+        game = xor_game_from_graph(affinity, include_diagonal=include_diagonal)
+        verdicts[index] = has_quantum_advantage(
+            game, threshold=threshold, tolerance=tolerance
+        )
+    return verdicts
+
+
 def advantage_probability(
     num_types: int,
     p_exclusive: float,
@@ -174,16 +237,24 @@ def advantage_probability(
     threshold: float = 1e-5,
     include_diagonal: bool = False,
     tolerance: float = 1e-8,
+    method: str = "auto",
 ) -> float:
-    """Fraction of random games with a quantum advantage (one Fig 3 point)."""
-    from repro.games.quantum_value import has_quantum_advantage
+    """Fraction of random games with a quantum advantage (one Fig 3 point).
 
-    if num_games < 1:
-        raise GameError("need at least one game")
-    hits = 0
-    for _ in range(num_games):
-        affinity = random_affinity_graph(num_types, p_exclusive, rng)
-        game = xor_game_from_graph(affinity, include_diagonal=include_diagonal)
-        if has_quantum_advantage(game, threshold=threshold, tolerance=tolerance):
-            hits += 1
-    return hits / num_games
+    ``method="auto"`` (default) runs the batched screening cascade; the
+    serial per-game loop is available as ``method="reference"``. The two
+    sample identical games and make identical per-game decisions (see
+    :func:`advantage_decisions`), so the returned fraction is the same.
+    """
+    return float(
+        advantage_decisions(
+            num_types,
+            p_exclusive,
+            num_games,
+            rng,
+            threshold=threshold,
+            include_diagonal=include_diagonal,
+            tolerance=tolerance,
+            method=method,
+        ).mean()
+    )

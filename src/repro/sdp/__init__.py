@@ -5,16 +5,31 @@ Tsirelson quantum value of XOR games and NPA level-1 upper bounds.
 """
 
 from repro.sdp.admm import solve_diagonal_sdp, solve_sdp
+from repro.sdp.batch import (
+    dual_upper_bound_batch,
+    repair_feasible_batch,
+    solve_diagonal_sdp_batch,
+)
 from repro.sdp.gram import gram_rank, gram_vectors
-from repro.sdp.projections import project_psd, symmetrize
+from repro.sdp.projections import (
+    project_psd,
+    project_psd_batch,
+    symmetrize,
+    symmetrize_batch,
+)
 from repro.sdp.result import SDPResult
 
 __all__ = [
     "solve_diagonal_sdp",
+    "solve_diagonal_sdp_batch",
     "solve_sdp",
+    "dual_upper_bound_batch",
+    "repair_feasible_batch",
     "gram_rank",
     "gram_vectors",
     "project_psd",
+    "project_psd_batch",
     "symmetrize",
+    "symmetrize_batch",
     "SDPResult",
 ]

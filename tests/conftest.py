@@ -6,6 +6,18 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the result cache at a per-test directory.
+
+    The fig3 CLI caches sweep points by default; without this, CLI tests
+    would litter ``.repro_cache`` in the working tree and leak state
+    between tests. Tests that care about a specific location still win
+    by setting ``REPRO_CACHE_DIR`` themselves.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fresh deterministic RNG per test."""

@@ -1,0 +1,193 @@
+"""Tests for the stacked (batched) ADMM diagonal-SDP solver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.obs import capture
+from repro.sdp import (
+    dual_upper_bound_batch,
+    project_psd_batch,
+    repair_feasible_batch,
+    solve_diagonal_sdp,
+    solve_diagonal_sdp_batch,
+    symmetrize_batch,
+)
+
+from tests.sdp.test_admm import chsh_cost
+
+
+def random_cost_stack(
+    num: int, n: int, seed: int, *, symmetric: bool = True
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    costs = rng.normal(size=(num, n, n))
+    if symmetric:
+        costs = (costs + np.swapaxes(costs, 1, 2)) / 2.0
+    return costs
+
+
+class TestBatchedProjections:
+    def test_symmetrize_batch_matches_serial(self):
+        stack = random_cost_stack(4, 5, 0, symmetric=False)
+        sym = symmetrize_batch(stack)
+        for mat, expect in zip(sym, (stack + np.swapaxes(stack, 1, 2)) / 2):
+            assert np.allclose(mat, expect)
+            assert np.allclose(mat, mat.T)
+
+    def test_project_psd_batch_matches_serial(self):
+        from repro.sdp import project_psd
+
+        stack = symmetrize_batch(random_cost_stack(6, 7, 1, symmetric=False))
+        batched = project_psd_batch(stack)
+        for index in range(stack.shape[0]):
+            assert np.allclose(
+                batched[index], project_psd(stack[index]), atol=1e-12
+            )
+
+    def test_project_psd_batch_rejects_bad_shapes(self):
+        with pytest.raises(SolverError):
+            project_psd_batch(np.ones((3, 3)))
+        with pytest.raises(SolverError):
+            project_psd_batch(np.ones((2, 3, 4)))
+
+
+class TestRepairAndDualBound:
+    def test_repair_produces_feasible_stack(self):
+        stack = random_cost_stack(5, 6, 2)
+        diagonal = np.ones(6)
+        repaired = repair_feasible_batch(stack, diagonal)
+        for mat in repaired:
+            assert np.allclose(np.diag(mat), 1.0, atol=1e-12)
+            assert np.linalg.eigvalsh(mat).min() >= -1e-8
+
+    def test_dual_bound_dominates_solved_primal(self):
+        costs = random_cost_stack(6, 5, 3)
+        results = solve_diagonal_sdp_batch(costs, tolerance=1e-8)
+        primals = np.stack([res.matrix for res in results])
+        bounds = dual_upper_bound_batch(costs, primals)
+        for res, bound in zip(results, bounds):
+            assert res.objective <= bound + 1e-7
+
+    def test_dual_bound_valid_for_any_primal_guess(self):
+        # The certificate must upper-bound the true optimum even when the
+        # primal guess is garbage — that is what the screening cascade
+        # relies on to refute advantage without solving.
+        costs = random_cost_stack(4, 5, 4)
+        sloppy = repair_feasible_batch(
+            random_cost_stack(4, 5, 99), np.ones(5)
+        )
+        bounds = dual_upper_bound_batch(costs, sloppy)
+        for cost, bound in zip(costs, bounds):
+            truth = solve_diagonal_sdp(cost, tolerance=1e-9).objective
+            assert truth <= bound + 1e-7
+
+    def test_dual_bound_rejects_mismatched_stacks(self):
+        with pytest.raises(SolverError):
+            dual_upper_bound_batch(np.ones((2, 3, 3)), np.ones((3, 3, 3)))
+        with pytest.raises(SolverError):
+            dual_upper_bound_batch(np.ones((3, 3)), np.ones((3, 3)))
+
+
+class TestStackedSolver:
+    def test_chsh_slice_reaches_tsirelson_bias(self):
+        results = solve_diagonal_sdp_batch(
+            chsh_cost()[None], tolerance=1e-9
+        )
+        assert len(results) == 1
+        assert results[0].converged
+        assert results[0].objective == pytest.approx(
+            math.sqrt(2) / 2, abs=1e-7
+        )
+
+    def test_matches_serial_solver_per_slice(self):
+        costs = random_cost_stack(10, 6, 5)
+        batched = solve_diagonal_sdp_batch(costs, tolerance=1e-8)
+        for cost, res in zip(costs, batched):
+            serial = solve_diagonal_sdp(cost, tolerance=1e-8)
+            assert res.converged == serial.converged
+            assert res.iterations == serial.iterations
+            assert res.objective == pytest.approx(
+                serial.objective, abs=1e-9
+            )
+            assert res.upper_bound == pytest.approx(
+                serial.upper_bound, abs=1e-9
+            )
+            assert np.allclose(res.matrix, serial.matrix, atol=1e-9)
+
+    def test_freezing_keeps_fast_slices_converged(self):
+        # A trivial slice (identity cost) converges orders of magnitude
+        # before a hard one; the frozen iterate must stay at its own
+        # convergence point rather than drifting with the batch.
+        easy = np.eye(4)[None]
+        hard = random_cost_stack(1, 4, 6)
+        batched = solve_diagonal_sdp_batch(
+            np.concatenate([easy, hard]), tolerance=1e-9
+        )
+        serial_easy = solve_diagonal_sdp(np.eye(4), tolerance=1e-9)
+        assert batched[0].iterations == serial_easy.iterations
+        assert batched[0].iterations < batched[1].iterations
+        assert batched[0].objective == pytest.approx(4.0, abs=1e-6)
+
+    def test_custom_diagonal(self):
+        diagonal = np.array([2.0, 3.0, 4.0])
+        results = solve_diagonal_sdp_batch(
+            np.eye(3)[None], diagonal=diagonal
+        )
+        assert results[0].objective == pytest.approx(9.0, abs=1e-6)
+        assert np.allclose(np.diag(results[0].matrix), diagonal)
+
+    def test_warm_start_cuts_iterations(self):
+        costs = np.stack([chsh_cost(), chsh_cost()])
+        cold = solve_diagonal_sdp_batch(costs, tolerance=1e-9)
+        warm = solve_diagonal_sdp_batch(
+            costs,
+            tolerance=1e-9,
+            warm_starts=np.stack([res.matrix for res in cold]),
+        )
+        for cold_res, warm_res in zip(cold, warm):
+            assert warm_res.iterations <= cold_res.iterations
+            assert warm_res.objective == pytest.approx(
+                cold_res.objective, abs=1e-7
+            )
+
+    def test_empty_batch(self):
+        assert solve_diagonal_sdp_batch(np.zeros((0, 4, 4))) == []
+
+    def test_unconverged_slices_reported(self):
+        costs = random_cost_stack(3, 6, 7)
+        results = solve_diagonal_sdp_batch(costs, max_iterations=3)
+        assert all(not res.converged for res in results)
+        assert all(res.iterations == 3 for res in results)
+        # Even unconverged, the repaired primal and dual bound bracket.
+        for res in results:
+            assert res.objective <= res.upper_bound + 1e-7
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SolverError):
+            solve_diagonal_sdp_batch(np.ones((3, 3)))
+        with pytest.raises(SolverError):
+            solve_diagonal_sdp_batch(np.ones((2, 3, 4)))
+        with pytest.raises(SolverError):
+            solve_diagonal_sdp_batch(
+                np.ones((2, 3, 3)), diagonal=np.ones(2)
+            )
+        with pytest.raises(SolverError):
+            solve_diagonal_sdp_batch(
+                np.ones((2, 3, 3)), diagonal=np.zeros(3)
+            )
+        with pytest.raises(SolverError):
+            solve_diagonal_sdp_batch(
+                np.ones((2, 3, 3)), warm_starts=np.ones((1, 3, 3))
+            )
+
+    def test_emits_metrics(self):
+        with capture() as registry:
+            solve_diagonal_sdp_batch(random_cost_stack(4, 5, 8))
+        assert registry.counter("sdp.batch.solves").value == 1
+        assert registry.counter("sdp.batch.games").value == 4
+        assert registry.counter("sdp.batch.iterations").value > 0
