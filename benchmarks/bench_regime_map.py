@@ -1,0 +1,127 @@
+"""Latency-constrained advantage regime map (phase diagram).
+
+Sweeps (deadline, distance, load, fidelity) cells through
+:func:`repro.lb.regime.regime_map` and prints the phase diagrams the
+``python -m repro regime`` CLI produces: which coordination technology —
+pre-shared CHSH pairs, classical shared randomness, or the §4.1
+one-message communicating balancer — wins each operating point.
+
+At full scale (``REPRO_BENCH_SCALE >= 1``) the default grid must show
+all three phases and respect the light-cone structure: every cell below
+the one-way bound is classical, and the quantum region never grows as
+fidelity drops. A trajectory file (``BENCH_regime.json``, override via
+``REPRO_BENCH_REGIME_JSON``) records the classified cells and sweep
+wall-clock for trend tracking; CI uploads it next to the other BENCH
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
+from repro.analysis import format_table
+from repro.lb.regime import (
+    VERDICT_LETTERS,
+    VERDICT_QUANTUM,
+    regime_map_detailed,
+)
+
+
+def bench_regime_map(benchmark):
+    horizon_services = scaled(120, 40)
+    full_scale = horizon_services >= 120
+    start = time.perf_counter()
+    result, report = regime_map_detailed(
+        horizon_services=horizon_services,
+        jobs=sweep_jobs(),
+        cache=sweep_cache(),
+    )
+    wall = time.perf_counter() - start
+
+    body_parts = []
+    for distance, fidelity, grid in result.slices():
+        rows = [
+            [f"{deadline * 1e3:g} ms", *row]
+            for deadline, row in zip(result.deadlines, grid)
+        ]
+        body_parts.append(
+            format_table(
+                ["deadline", *(f"load {load:g}" for load in result.loads)],
+                rows,
+                title=f"distance {distance / 1000:g} km, "
+                f"fidelity {fidelity:g}",
+            )
+        )
+    counts = result.counts()
+    legend = ", ".join(
+        f"{letter} = {verdict}" for verdict, letter in VERDICT_LETTERS.items()
+    )
+    body_parts.append(
+        f"legend: {legend}\n"
+        + "cells: "
+        + ", ".join(f"{verdict} {n}" for verdict, n in counts.items())
+        + f"\nhorizon_services={horizon_services} (REPRO_BENCH_SCALE), "
+        f"{wall:.2f}s wall, jobs={sweep_jobs()}"
+    )
+    print_block(
+        "Regime map — latency-constrained advantage phases",
+        "\n\n".join(body_parts),
+    )
+
+    trajectory = {
+        "benchmark": "regime_map",
+        "horizon_services": horizon_services,
+        "full_scale": full_scale,
+        "wall_seconds": wall,
+        "counts": counts,
+        "map": result.to_dict(),
+    }
+    out_path = os.environ.get("REPRO_BENCH_REGIME_JSON", "BENCH_regime.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Light-cone floor holds at every scale: below the one-way bound no
+    # cross-site strategy exists.
+    for cell in result.cells:
+        if not cell.remote_routing_feasible:
+            assert cell.verdict == "shared-randomness", (
+                f"cell {cell.key} beat the light cone"
+            )
+    # The quantum region never grows as fidelity drops (same deadline,
+    # distance, load).
+    fidelities = sorted(result.fidelities)
+    for deadline in result.deadlines:
+        for distance in result.distances_m:
+            for load in result.loads:
+                quantum_by_f = [
+                    result.cell(deadline, distance, load, f).verdict
+                    == VERDICT_QUANTUM
+                    for f in fidelities
+                ]
+                for lower, higher in zip(quantum_by_f, quantum_by_f[1:]):
+                    assert higher or not lower, (
+                        f"quantum region grew as fidelity dropped at "
+                        f"({deadline}, {distance}, {load})"
+                    )
+    if full_scale:
+        assert all(counts[v] > 0 for v in counts), (
+            f"default grid must show all three phases, got {counts}"
+        )
+
+    benchmark.pedantic(
+        lambda: regime_map_detailed(
+            deadlines=(0.3e-3, 2.5e-3),
+            distances_m=(50_000.0,),
+            loads=(1.2,),
+            fidelities=(0.95,),
+            horizon_services=min(horizon_services, 40),
+            jobs=1,
+            cache=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )

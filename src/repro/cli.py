@@ -9,6 +9,7 @@ Usage::
     python -m repro budget --source-fidelity 0.97 --fiber-km 1.0 \
         --storage-us 50
     python -m repro values --p-exclusive 0.5 --vertices 5 --seed 7
+    python -m repro regime --deadlines-ms 0.3 0.7 2.5 --distances-km 50 100
 
 Each subcommand prints the same tables the benchmark harness produces.
 """
@@ -151,6 +152,47 @@ def build_parser() -> argparse.ArgumentParser:
     values.add_argument("--p-exclusive", type=float, default=0.5)
     values.add_argument("--vertices", type=int, default=5)
     values.add_argument("--seed", type=int, default=0)
+
+    regime = sub.add_parser(
+        "regime",
+        help="latency-constrained advantage regime map "
+        "(quantum / shared randomness / coordination)",
+        parents=[telemetry],
+    )
+    regime.add_argument("--deadlines-ms", type=float, nargs="+",
+                        default=[0.3, 0.7, 2.5],
+                        help="decision deadlines in milliseconds")
+    regime.add_argument("--distances-km", type=float, nargs="+",
+                        default=[50.0, 100.0],
+                        help="site separations in kilometers")
+    regime.add_argument("--loads", type=float, nargs="+",
+                        default=[0.7, 1.2],
+                        help="offered load per server")
+    regime.add_argument("--fidelities", type=float, nargs="+",
+                        default=[0.7, 0.95],
+                        help="Werner fidelities of the delivered pairs")
+    regime.add_argument("--balancers", type=int, default=8,
+                        help="DES fleet size (even; default 8)")
+    regime.add_argument("--service-time-ms", type=float, default=1.0,
+                        help="task execution time in milliseconds "
+                        "(default 1.0; pick it near the RTT scale)")
+    regime.add_argument("--horizon-services", type=float, default=120.0,
+                        help="DES horizon in units of the service time")
+    regime.add_argument("--pair-rate", type=float, default=5e3,
+                        help="delivered Bell pairs per second per pair "
+                        "of balancers (default 5000)")
+    regime.add_argument("--storage-us", type=float, default=200.0,
+                        help="QNIC pair-buffering window in microseconds")
+    regime.add_argument("--seed", type=int, default=0)
+    regime.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: "
+                        "REPRO_JOBS, then CPU count; verdicts are "
+                        "bit-identical to a serial run)")
+    regime.add_argument("--no-cache", action="store_true",
+                        help="skip the content-addressed result cache "
+                        "(REPRO_CACHE_DIR, default .repro_cache)")
+    regime.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full cell records to PATH")
 
     mermin = sub.add_parser(
         "mermin",
@@ -448,6 +490,54 @@ def _cmd_values(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_regime(args: argparse.Namespace) -> None:
+    from repro.analysis import format_table
+    from repro.lb.regime import VERDICT_LETTERS, regime_map
+
+    result = regime_map(
+        deadlines=[d * 1e-3 for d in args.deadlines_ms],
+        distances_m=[km * 1000.0 for km in args.distances_km],
+        loads=args.loads,
+        fidelities=args.fidelities,
+        num_balancers=args.balancers,
+        service_time=args.service_time_ms * 1e-3,
+        horizon_services=args.horizon_services,
+        pair_rate=args.pair_rate,
+        storage_limit=args.storage_us * 1e-6,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
+    for distance, fidelity, grid in result.slices():
+        rows = [
+            [f"{deadline * 1e3:g} ms", *row]
+            for deadline, row in zip(result.deadlines, grid)
+        ]
+        print(
+            format_table(
+                ["deadline", *(f"load {load:g}" for load in result.loads)],
+                rows,
+                title=f"Regime map: distance {distance / 1000:g} km, "
+                f"fidelity {fidelity:g}",
+            )
+        )
+        print()
+    legend = ", ".join(
+        f"{letter} = {verdict}" for verdict, letter in VERDICT_LETTERS.items()
+    )
+    print(f"legend: {legend}")
+    counts = result.counts()
+    print(
+        "cells: "
+        + ", ".join(f"{verdict} {n}" for verdict, n in counts.items())
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"cell records written to {args.json}")
+
+
 def _cmd_mermin(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
     from repro.games import (
@@ -517,6 +607,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         _cmd_budget(args)
     elif args.command == "values":
         _cmd_values(args)
+    elif args.command == "regime":
+        _cmd_regime(args)
     elif args.command == "mermin":
         _cmd_mermin(args)
     elif args.command == "calibrate":

@@ -16,7 +16,21 @@ from repro.lb.degradation import (
 )
 from repro.lb.oracle import OmniscientAssignment
 from repro.lb.weighted import WeightedCHSHPairedAssignment
-from repro.lb.des_adapter import DESResult, QuantumPairDecider, run_des_experiment
+from repro.lb.des_adapter import (
+    DESResult,
+    QuantumPairDecider,
+    coordinated_submit,
+    run_des_experiment,
+)
+from repro.lb.regime import (
+    VERDICT_COORDINATION,
+    VERDICT_QUANTUM,
+    VERDICT_SHARED,
+    RegimeCell,
+    RegimeMapResult,
+    regime_map,
+    regime_map_detailed,
+)
 from repro.lb.policies import (
     AssignmentPolicy,
     CHSHPairedAssignment,
@@ -55,7 +69,15 @@ __all__ = [
     "WeightedCHSHPairedAssignment",
     "DESResult",
     "QuantumPairDecider",
+    "coordinated_submit",
     "run_des_experiment",
+    "VERDICT_COORDINATION",
+    "VERDICT_QUANTUM",
+    "VERDICT_SHARED",
+    "RegimeCell",
+    "RegimeMapResult",
+    "regime_map",
+    "regime_map_detailed",
     "AssignmentPolicy",
     "CHSHPairedAssignment",
     "ClassicalPairedAssignment",

@@ -16,6 +16,7 @@ vary ``service_time`` against a hypothetical coordination RTT.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,9 +30,14 @@ from repro.quantum.bases import chsh_alice_basis, rotation_basis
 from repro.quantum.entangle import bell_pair
 from repro.quantum.measurement import EntangledRegister
 from repro.quantum.state import DensityMatrix, StateVector
-from repro.sim.core import Environment, Timeout
+from repro.sim.core import Environment, Event, Timeout
 
-__all__ = ["DESResult", "run_des_experiment", "QuantumPairDecider"]
+__all__ = [
+    "DESResult",
+    "run_des_experiment",
+    "QuantumPairDecider",
+    "coordinated_submit",
+]
 
 
 class QuantumPairDecider:
@@ -99,6 +105,37 @@ class QuantumPairDecider:
         return self._servers[outcome]
 
 
+def coordinated_submit(
+    env: Environment,
+    request: Request,
+    servers: Sequence[Server],
+    coordination_rtt: float,
+    on_complete: Callable[[Event], None] | None = None,
+):
+    """One communicating-balancer decision with light-cone-consistent
+    staleness.
+
+    The query leaves at request arrival and reaches the servers after
+    half the round trip, so queue state is observed at *query time + one
+    way*; the response needs the other half to travel back, so by the
+    time the balancer routes (a full RTT after arrival) that snapshot is
+    one-way stale. The full RTT still lands in the measured queueing
+    delay because the request's ``arrival_time`` predates the wait.
+
+    An earlier implementation snapshotted the queues *after* the full
+    RTT wait, handing the balancer perfectly fresh state no one-message
+    protocol can have — an optimistic bias the regression suite pins
+    down (``tests/lb/test_des_coordination.py``).
+    """
+    one_way = coordination_rtt / 2.0
+    yield Timeout(env, one_way)
+    loads = [s.queue_length + (1 if s.busy else 0) for s in servers]
+    yield Timeout(env, coordination_rtt - one_way)
+    done = servers[int(np.argmin(loads))].submit(request)
+    if on_complete is not None:
+        done.callbacks.append(on_complete)
+
+
 @dataclass(frozen=True)
 class DESResult:
     """Outcome of a continuous-time experiment.
@@ -131,8 +168,10 @@ def run_des_experiment(
     Args:
         policy: ``"random"``, ``"quantum"`` (CHSH pairs), or
             ``"coordinated"`` — the §4.1 caveat's communicating
-            balancer: each request first pays ``coordination_rtt`` to
-            query queue lengths, then goes to the least-loaded server.
+            balancer: each request pays ``coordination_rtt`` to query
+            queue lengths and routes to the server that was least
+            loaded when the query *arrived* (one-way-stale state; see
+            :func:`coordinated_submit`).
             Pre-shared-qubit policies decide instantly; the caveat bench
             sweeps ``service_time`` against the RTT to find where
             communication starts to win.
@@ -146,6 +185,14 @@ def run_des_experiment(
         raise ConfigurationError(f"unknown policy {policy!r}")
     if coordination_rtt < 0:
         raise ConfigurationError("coordination_rtt must be non-negative")
+    if policy == "quantum" and num_balancers % 2 == 1:
+        # An unpaired balancer would silently route uniformly at random,
+        # diluting the quantum curve relative to the other policies.
+        raise ConfigurationError(
+            f"policy='quantum' pairs balancers over shared Bell pairs and "
+            f"needs an even count; got num_balancers={num_balancers}. Use "
+            f"an even fleet (or compare at num_balancers - 1)."
+        )
     env = Environment()
     servers = [
         Server(env, service_time=service_time, name=f"s{i}")
@@ -177,10 +224,14 @@ def run_des_experiment(
             last = request.arrival_time
             if policy == "coordinated":
                 # Decisions pay the RTT but arrivals keep their schedule:
-                # hand the request to a helper that waits, then routes to
-                # the least-loaded server. The RTT lands in the measured
-                # queueing delay because arrival_time predates it.
-                env.process(_coordinated_submit(env, request))
+                # hand the request to a helper that queries, waits out the
+                # round trip, and routes on the (one-way-stale) snapshot.
+                env.process(
+                    coordinated_submit(
+                        env, request, servers, coordination_rtt,
+                        _collect_delay,
+                    )
+                )
             else:
                 server_index = _route(
                     balancer_id, request, env.now, deciders, stream,
@@ -188,12 +239,6 @@ def run_des_experiment(
                 )
                 done = servers[server_index].submit(request)
                 done.callbacks.append(_collect_delay)
-
-    def _coordinated_submit(env: Environment, request: Request):
-        yield Timeout(env, coordination_rtt)
-        loads = [s.queue_length + (1 if s.busy else 0) for s in servers]
-        done = servers[int(np.argmin(loads))].submit(request)
-        done.callbacks.append(_collect_delay)
 
     def _collect_delay(event) -> None:
         request: Request = event.value

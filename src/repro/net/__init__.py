@@ -1,5 +1,10 @@
 """Network substrate: requests, links, servers, workloads, metrics."""
 
+from repro.net.latency import (
+    LatencyModel,
+    deadline_limited_availability,
+    effective_win_probability,
+)
 from repro.net.link import Link
 from repro.net.metrics import DelayStats, FleetMetrics
 from repro.net.packet import Packet, Request, TaskType
@@ -8,6 +13,9 @@ from repro.net.trace import Trace, record_bernoulli_trace
 from repro.net.workload import BernoulliTaskMix, PoissonArrivals, SubtypedTaskMix
 
 __all__ = [
+    "LatencyModel",
+    "deadline_limited_availability",
+    "effective_win_probability",
     "Link",
     "DelayStats",
     "FleetMetrics",

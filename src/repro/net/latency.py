@@ -1,0 +1,216 @@
+"""Light-cone latency model: when does coordination fit a deadline?
+
+The paper's pitch is "correlation without round-trips"; the related
+latency-constrained-nonlocality literature (PAPERS.md: *Operational
+criteria for quantum advantage in latency-constrained nonlocal games*,
+*Quantum Nonlocality under Latency Constraints*) makes the operating
+question precise: a decision must be made within a *deadline* of the
+request's arrival, and every classical coordination message is bounded
+by the light cone of the fiber connecting the two sites.
+
+:class:`LatencyModel` captures one operating point — site separation
+plus decision deadline — and answers the budget questions:
+
+- ``can_route_remotely``: can a dispatched request physically reach the
+  far side's servers before the deadline? Below this one-way bound no
+  strategy, quantum or classical, can act across sites: the cell is
+  forced classical-local.
+- ``can_query_and_respond``: does a query-and-respond exchange (the
+  §4.1 communicating balancer) fit inside the deadline? This is the
+  full-RTT bound that pre-shared entanglement never pays.
+
+:func:`effective_win_probability` turns the model into the deliverable
+colocation-game win rate of a hardware configuration: pair availability
+from :mod:`repro.hardware.scheduler` (generation rate and the buffering
+window, capped by the deadline) blended with the Werner-state CHSH win
+probability of the delivered fidelity — the quantity the regime map
+(:mod:`repro.lb.regime`) compares against the classical baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LatencyModel",
+    "deadline_limited_availability",
+    "effective_win_probability",
+]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """One latency-constrained operating point of a two-site deployment.
+
+    Attributes:
+        distance_m: fiber distance between the two balancer sites in
+            meters; signals propagate at ``FIBER_LIGHT_SPEED``
+            (:mod:`repro.hardware.distribution`), exactly the speed a
+            :class:`~repro.hardware.distribution.FiberChannel` of the
+            same length reports via ``transit_time``.
+        deadline: decision deadline in seconds, measured from request
+            arrival to the moment the routed request must be able to
+            start at its server. ``math.inf`` is allowed (no deadline).
+        processing_delay: fixed per-exchange handling overhead in
+            seconds (serialization, scheduling), added to every
+            classical coordination budget.
+    """
+
+    distance_m: float
+    deadline: float
+    processing_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0:
+            raise ConfigurationError(
+                f"negative site distance {self.distance_m}"
+            )
+        if self.deadline < 0 or math.isnan(self.deadline):
+            raise ConfigurationError(
+                f"deadline must be non-negative, got {self.deadline}"
+            )
+        if self.processing_delay < 0:
+            raise ConfigurationError(
+                f"negative processing delay {self.processing_delay}"
+            )
+
+    @classmethod
+    def from_fiber(
+        cls, fiber, deadline: float, *, processing_delay: float = 0.0
+    ) -> "LatencyModel":
+        """Build the model from a :class:`~repro.hardware.distribution
+        .FiberChannel` spanning the two sites."""
+        return cls(
+            distance_m=fiber.length_m,
+            deadline=deadline,
+            processing_delay=processing_delay,
+        )
+
+    @property
+    def one_way_delay(self) -> float:
+        """One-way light-cone delay between the sites, in seconds."""
+        from repro.hardware.distribution import FIBER_LIGHT_SPEED
+
+        return self.distance_m / FIBER_LIGHT_SPEED
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time between the sites."""
+        return 2.0 * self.one_way_delay
+
+    def can_route_remotely(self) -> bool:
+        """Can a dispatched request reach the far site by the deadline?
+
+        The light-cone floor: below it even a perfectly correlated
+        decision cannot be *acted on* across sites, so no cross-site
+        strategy — quantum or classical — exists.
+        """
+        return self.one_way_delay <= self.deadline
+
+    def can_query_and_respond(self) -> bool:
+        """Does a query-and-respond exchange fit inside the deadline?
+
+        The budget the §4.1 communicating balancer needs: one message
+        out, one back, plus processing. Pre-shared entanglement never
+        pays this — its decisions are local measurements.
+        """
+        return self.rtt + self.processing_delay <= self.deadline
+
+    def coordination_slack(self) -> float:
+        """Deadline headroom left after a query-and-respond exchange
+        (negative when coordination does not fit)."""
+        return self.deadline - self.rtt - self.processing_delay
+
+    def buffering_window(self, storage_limit: float) -> float:
+        """The usable pair-buffering window under this deadline.
+
+        A decision may consume any pair that is still within the QNIC
+        storage window, and may stall at most ``deadline`` waiting for
+        supply, so the window that matters for availability is the
+        smaller of the two. ``deadline -> inf`` recovers the plain
+        storage window — the undegraded supply model.
+        """
+        if storage_limit <= 0:
+            raise ConfigurationError(
+                f"storage window must be positive, got {storage_limit}"
+            )
+        return min(storage_limit, self.deadline)
+
+
+def deadline_limited_availability(
+    model: LatencyModel,
+    *,
+    pair_rate: float,
+    request_rate: float,
+    storage_limit: float,
+) -> float:
+    """Pair availability under the deadline-capped buffering window.
+
+    Composes :func:`repro.hardware.scheduler.analytic_pair_availability`
+    (generation rate ``pair_rate``, per-QNIC consumption
+    ``request_rate``) with the window from
+    :meth:`LatencyModel.buffering_window`. A zero window — a deadline of
+    exactly zero — yields zero availability: no pair can be waited for.
+    """
+    from repro.hardware.scheduler import analytic_pair_availability
+
+    window = model.buffering_window(storage_limit)
+    if window <= 0:
+        return 0.0
+    return analytic_pair_availability(pair_rate, request_rate, window)
+
+
+def effective_win_probability(
+    model: LatencyModel,
+    *,
+    fidelity: float,
+    pair_rate: float,
+    request_rate: float,
+    storage_limit: float,
+    classical_win: float | None = None,
+) -> float:
+    """Deliverable colocation-game win rate at one operating point.
+
+    Composition, in light-cone order:
+
+    1. Below the one-way bound (``not model.can_route_remotely()``) no
+       cross-site routing exists, so the correlation cannot be acted on
+       and the deliverable rate collapses to ``classical_win`` (the
+       best shared-randomness value, ``CHSH_CLASSICAL_VALUE`` = 3/4 by
+       default).
+    2. Otherwise decisions backed by a live pair win with the exact
+       Werner-state CHSH probability at ``fidelity`` (the PR 3
+       degradation plane); the rest fall back to the classical paired
+       strategy. Availability comes from
+       :func:`deadline_limited_availability`.
+
+    ``deadline -> inf`` with ample supply and ``fidelity=1`` recovers
+    the undegraded quantum value ``cos^2(pi/8)`` — the Fig 4 knee's
+    operating assumption; a fidelity at the Werner threshold
+    (:func:`repro.hardware.budget.required_fidelity_for_advantage`)
+    makes this exactly ``classical_win`` for every deadline.
+    """
+    from repro.games.chsh import (
+        CHSH_CLASSICAL_VALUE,
+        chsh_win_probability_for_state,
+    )
+    from repro.hardware import scheduler
+    from repro.quantum.entangle import werner_state
+
+    if classical_win is None:
+        classical_win = CHSH_CLASSICAL_VALUE
+    if not model.can_route_remotely():
+        return float(classical_win)
+    quantum_win = chsh_win_probability_for_state(werner_state(fidelity))
+    availability = deadline_limited_availability(
+        model,
+        pair_rate=pair_rate,
+        request_rate=request_rate,
+        storage_limit=storage_limit,
+    )
+    return scheduler.effective_win_probability(
+        availability, quantum_win, classical_win
+    )

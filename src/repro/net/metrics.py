@@ -14,7 +14,13 @@ __all__ = ["FleetMetrics", "DelayStats"]
 
 @dataclass(frozen=True)
 class DelayStats:
-    """Summary statistics of a collection of delays."""
+    """Summary statistics of a collection of delays.
+
+    An empty collection is a valid outcome — a short-horizon or fully
+    saturated run may complete nothing — and is represented by the
+    ``count=0`` sentinel whose statistics are all NaN, so overloaded
+    sweep cells report instead of crashing.
+    """
 
     mean: float
     p50: float
@@ -23,10 +29,21 @@ class DelayStats:
     count: int
 
     @classmethod
+    def empty(cls) -> "DelayStats":
+        """The ``count=0`` sentinel: no request completed."""
+        nan = float("nan")
+        return cls(mean=nan, p50=nan, p95=nan, p99=nan, count=0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no delay sample was collected."""
+        return self.count == 0
+
+    @classmethod
     def from_samples(cls, samples: list[float]) -> "DelayStats":
-        """Compute stats; raises on empty input."""
+        """Compute stats; empty input yields the :meth:`empty` sentinel."""
         if not samples:
-            raise NetworkError("no delay samples collected")
+            return cls.empty()
         arr = np.asarray(samples, dtype=float)
         return cls(
             mean=float(arr.mean()),

@@ -86,16 +86,35 @@ class Trace:
 
     @classmethod
     def from_csv(cls, text: str) -> "Trace":
-        """Inverse of :meth:`to_csv`."""
+        """Inverse of :meth:`to_csv`.
+
+        The ``round`` column is validated, not discarded: indices must
+        be exactly ``0..n-1`` in order, so a shuffled, duplicated, or
+        gapped trace (e.g. a truncated copy or a bad merge of two
+        captures) fails loudly instead of silently replaying rounds
+        against the wrong timesteps.
+        """
         lines = [line for line in text.splitlines() if line.strip()]
         if not lines or lines[0] != "round,tasks":
             raise ConfigurationError("missing 'round,tasks' CSV header")
         rounds = []
-        for line in lines[1:]:
+        for position, line in enumerate(lines[1:]):
             try:
-                _, letters = line.split(",", 1)
+                index_text, letters = line.split(",", 1)
             except ValueError as exc:
                 raise ConfigurationError(f"malformed trace line {line!r}") from exc
+            try:
+                index = int(index_text)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"non-integer round index {index_text!r} in line {line!r}"
+                ) from exc
+            if index != position:
+                raise ConfigurationError(
+                    f"round indices must be exactly 0..n-1 in order: "
+                    f"expected {position}, got {index} (shuffled, "
+                    f"duplicated, or gapped trace)"
+                )
             try:
                 rounds.append([TaskType(ch) for ch in letters])
             except ValueError as exc:

@@ -1,0 +1,150 @@
+"""Regression tests for the coordinated balancer's observation staleness.
+
+The communicating balancer of §4.1 pays a round trip per decision: the
+query sees queue state one-way out, and the routing happens a full RTT
+after arrival, acting on a snapshot that is one-way stale by then.
+An earlier implementation of :func:`repro.lb.des_adapter.
+coordinated_submit` snapshotted the queues *after* the full RTT wait —
+state no one-message protocol can physically have. These tests pin the
+fixed ordering down and demonstrate the old one was optimistically
+biased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lb.des_adapter import coordinated_submit
+from repro.net.packet import Request, TaskType
+from repro.net.server import Server
+from repro.net.workload import PoissonArrivals
+from repro.sim.core import Environment, Timeout
+from tests._stattools import assert_bootstrap_dominates
+
+E = TaskType.EXCLUSIVE
+
+
+def _fresh_snapshot_submit(env, request, servers, coordination_rtt,
+                           on_complete=None):
+    """The old (buggy) ordering: wait the full RTT, *then* look.
+
+    Kept here as the regression foil — it reads queue state at routing
+    time, which a one-message protocol cannot observe.
+    """
+    yield Timeout(env, coordination_rtt)
+    loads = [s.queue_length + (1 if s.busy else 0) for s in servers]
+    done = servers[int(np.argmin(loads))].submit(request)
+    if on_complete is not None:
+        done.callbacks.append(on_complete)
+
+
+def _divergence_scenario(submit_variant):
+    """Two servers whose load ranking flips mid-RTT.
+
+    At t=0 server s0 holds two exclusive tasks (load 2) and s1 one
+    (load 1); at t=0.6 two more tasks land on s1 (load 3). With RTT 1.0
+    the query-time snapshot (t=0.5) ranks s1 cheaper, while routing-time
+    state (t=1.0) ranks s0 cheaper. Returns the probe request after the
+    run; its start time identifies the server it landed on.
+    """
+    env = Environment()
+    servers = [
+        Server(env, service_time=2.0, name=f"s{i}") for i in range(2)
+    ]
+    for _ in range(2):
+        servers[0].submit(Request(task_type=E, arrival_time=0.0))
+    servers[1].submit(Request(task_type=E, arrival_time=0.0))
+
+    probe = Request(task_type=E, arrival_time=0.0)
+    env.process(submit_variant(env, probe, servers, 1.0))
+
+    def late_burst(env):
+        yield Timeout(env, 0.6)
+        for _ in range(2):
+            servers[1].submit(Request(task_type=E, arrival_time=env.now))
+
+    env.process(late_burst(env))
+    env.run(until=20.0)
+    return probe
+
+
+class TestObservationStaleness:
+    def test_routes_on_query_time_snapshot(self):
+        """The fixed ordering acts on t=0.5 state: s1 (then-cheaper),
+        whose backlog delays the probe to t=6.0."""
+        probe = _divergence_scenario(coordinated_submit)
+        assert probe.start_service_time == 6.0
+
+    def test_old_ordering_saw_impossibly_fresh_state(self):
+        """The old ordering reads t=1.0 state and picks s0 — it knew
+        about the t=0.6 burst before the response could have arrived."""
+        probe = _divergence_scenario(_fresh_snapshot_submit)
+        assert probe.start_service_time == 4.0
+
+    def test_full_rtt_still_in_measured_delay(self):
+        """The fix moves only the observation, not the cost: routing
+        still happens a full RTT after arrival."""
+        env = Environment()
+        servers = [Server(env, service_time=1.0) for _ in range(2)]
+        probe = Request(task_type=E, arrival_time=0.0)
+        env.process(coordinated_submit(env, probe, servers, 1.0))
+        env.run(until=5.0)
+        # Idle fleet: service starts the moment the request is routed.
+        assert probe.queueing_delay == 1.0
+
+
+def _mini_mean_delay(submit_variant, seed, *, num_balancers=4,
+                     num_servers=4, arrival_rate=0.9, horizon=120.0,
+                     rtt=1.0):
+    """Mean queueing delay of a Poisson workload routed entirely through
+    one coordinated-submit variant (mirrors the DES adapter's loop)."""
+    env = Environment()
+    servers = [
+        Server(env, service_time=1.0, name=f"s{i}")
+        for i in range(num_servers)
+    ]
+    delays = []
+
+    def collect(event):
+        request = event.value
+        if request.queueing_delay is not None:
+            delays.append(request.queueing_delay)
+
+    def balancer(env, balancer_id):
+        stream = np.random.default_rng(
+            np.random.SeedSequence([seed, balancer_id])
+        )
+        workload = PoissonArrivals(arrival_rate)
+        last = 0.0
+        for request in workload.arrivals_until(horizon, stream, balancer_id):
+            yield Timeout(env, request.arrival_time - last)
+            last = request.arrival_time
+            env.process(
+                submit_variant(env, request, servers, rtt, collect)
+            )
+
+    for balancer_id in range(num_balancers):
+        env.process(balancer(env, balancer_id))
+    env.run(until=horizon + 50.0)
+    assert delays, "mini harness completed nothing"
+    return float(np.mean(delays))
+
+
+class TestStalenessBias:
+    def test_old_ordering_was_optimistically_biased(self):
+        """Across paired seeded workloads, the impossibly fresh snapshot
+        yields significantly smaller delays than the light-cone-honest
+        one — the optimistic bias the fix removes."""
+        seeds = range(12)
+        fresh = [
+            _mini_mean_delay(_fresh_snapshot_submit, seed) for seed in seeds
+        ]
+        stale = [
+            _mini_mean_delay(coordinated_submit, seed) for seed in seeds
+        ]
+        assert_bootstrap_dominates(
+            fresh,
+            stale,
+            label="fresh-snapshot vs one-way-stale coordinated delay",
+            seed=7,
+        )

@@ -1,0 +1,240 @@
+"""Tests for the latency-constrained advantage regime map.
+
+The parity suite pins the acceptance invariants: deadline -> inf
+recovers the undegraded CHSH knee, sub-light-cone deadlines force the
+classical cell, and verdicts are bit-identical across worker counts and
+cell orderings (every cell is a pure function of (config, seed))."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.games.chsh import CHSH_CLASSICAL_VALUE, CHSH_QUANTUM_VALUE
+from repro.lb.regime import (
+    DEFAULT_DEADLINES,
+    VERDICT_COORDINATION,
+    VERDICT_LETTERS,
+    VERDICT_QUANTUM,
+    VERDICT_SHARED,
+    RegimeMapResult,
+    _evaluate_cell,
+    regime_map,
+    regime_map_detailed,
+)
+from repro.obs import capture
+
+#: A fast 8-cell grid that still spans all three phases at 50/100 km:
+#: deadlines straddle the 100 km one-way bound (0.49 ms) and the 50 km
+#: RTT (0.49 ms), fidelities straddle the Werner threshold (~0.78).
+FAST = dict(
+    deadlines=(0.3e-3, 2.5e-3),
+    distances_m=(50_000.0, 100_000.0),
+    loads=(1.2,),
+    fidelities=(0.7, 0.95),
+    horizon_services=60.0,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_map():
+    return regime_map(**FAST, jobs=1)
+
+
+def _cell_config(**overrides):
+    config = {
+        "deadline": 2.5e-3,
+        "distance_m": 50_000.0,
+        "load": 1.2,
+        "fidelity": 0.95,
+        "num_balancers": 8,
+        "num_servers": 8,
+        "service_time": 1e-3,
+        "horizon": 0.06,
+        "pair_rate": 5e3,
+        "storage_limit": 2e-4,
+    }
+    config.update(overrides)
+    return config
+
+
+class TestCellClassification:
+    def test_sub_light_cone_deadline_forces_classical(self):
+        """Below the one-way bound no cross-site strategy exists: the
+        cell is shared-randomness whatever the hardware."""
+        cell = _evaluate_cell(
+            _cell_config(deadline=0.3e-3, distance_m=100_000.0, fidelity=1.0),
+            seed=0,
+        )
+        assert not cell.remote_routing_feasible
+        assert cell.verdict == VERDICT_SHARED
+        assert cell.quantum_win == CHSH_CLASSICAL_VALUE
+        assert math.isnan(cell.coordination_delay)
+
+    def test_loose_deadline_recovers_chsh_knee(self):
+        """Deadline -> inf with ample pair supply and perfect pairs:
+        the undegraded quantum value, and a quantum verdict."""
+        cell = _evaluate_cell(
+            _cell_config(
+                deadline=math.inf,
+                fidelity=1.0,
+                pair_rate=1e9,
+                storage_limit=1.0,
+                load=0.7,
+            ),
+            seed=0,
+        )
+        assert cell.quantum_win == pytest.approx(
+            CHSH_QUANTUM_VALUE, abs=1e-6
+        )
+        assert cell.availability == pytest.approx(1.0, abs=1e-6)
+        assert cell.verdict == VERDICT_QUANTUM
+
+    def test_low_fidelity_loses_to_shared_randomness(self):
+        cell = _evaluate_cell(_cell_config(fidelity=0.7, load=0.7), seed=0)
+        assert cell.quantum_win < CHSH_CLASSICAL_VALUE
+        assert cell.verdict != VERDICT_QUANTUM
+
+    def test_infeasible_coordination_never_wins(self):
+        # 50 km RTT is 0.49 ms; a 0.4 ms deadline admits routing but
+        # not a query-and-respond.
+        cell = _evaluate_cell(_cell_config(deadline=0.4e-3), seed=0)
+        assert cell.remote_routing_feasible
+        assert not cell.coordination_feasible
+        assert cell.verdict != VERDICT_COORDINATION
+
+
+class TestRegimeMap:
+    def test_default_grid_shows_all_three_phases(self, fast_map):
+        counts = fast_map.counts()
+        assert all(counts[v] > 0 for v in counts), counts
+
+    def test_quantum_region_shrinks_as_fidelity_drops(self, fast_map):
+        for deadline in fast_map.deadlines:
+            for distance in fast_map.distances_m:
+                for load in fast_map.loads:
+                    low = fast_map.cell(deadline, distance, load, 0.7)
+                    high = fast_map.cell(deadline, distance, load, 0.95)
+                    if low.verdict == VERDICT_QUANTUM:
+                        assert high.verdict == VERDICT_QUANTUM
+
+    def test_deadline_structure_follows_light_cone(self, fast_map):
+        """Below one-way: forced classical. Between one-way and RTT:
+        coordination infeasible. The transition points are exactly the
+        model's."""
+        for cell in fast_map.cells:
+            assert cell.remote_routing_feasible == (
+                cell.one_way_delay <= cell.deadline
+            )
+            assert cell.coordination_feasible == (cell.rtt <= cell.deadline)
+            if not cell.remote_routing_feasible:
+                assert cell.verdict == VERDICT_SHARED
+
+    def test_verdicts_bit_identical_across_jobs(self, fast_map):
+        parallel = regime_map(**FAST, jobs=3)
+        assert json.dumps(parallel.to_dict(), sort_keys=True) == json.dumps(
+            fast_map.to_dict(), sort_keys=True
+        )
+
+    def test_verdicts_invariant_to_cell_order(self, fast_map):
+        """Reversing every axis must reproduce the same per-cell
+        verdicts — each cell is a pure function of (config, seed)."""
+        reversed_map = regime_map(
+            **{
+                **FAST,
+                "deadlines": tuple(reversed(FAST["deadlines"])),
+                "distances_m": tuple(reversed(FAST["distances_m"])),
+                "fidelities": tuple(reversed(FAST["fidelities"])),
+            },
+            jobs=1,
+        )
+        for cell in fast_map.cells:
+            twin = reversed_map.cell(*cell.key)
+            assert json.dumps(twin.to_dict(), sort_keys=True) == json.dumps(
+                cell.to_dict(), sort_keys=True
+            )
+
+    def test_slices_shape_and_letters(self, fast_map):
+        slices = fast_map.slices()
+        assert len(slices) == len(fast_map.distances_m) * len(
+            fast_map.fidelities
+        )
+        for _, _, grid in slices:
+            assert len(grid) == len(fast_map.deadlines)
+            assert all(len(row) == len(fast_map.loads) for row in grid)
+            assert all(
+                letter in VERDICT_LETTERS.values()
+                for row in grid
+                for letter in row
+            )
+
+    def test_to_dict_round_trips_through_json(self, fast_map):
+        payload = json.loads(
+            json.dumps(fast_map.to_dict())
+        )
+        assert payload["counts"] == fast_map.counts()
+        assert len(payload["cells"]) == len(fast_map.cells)
+
+    def test_unknown_cell_lookup_raises(self, fast_map):
+        with pytest.raises(KeyError):
+            fast_map.cell(123.0, 1.0, 1.0, 1.0)
+
+    def test_metrics_recorded(self):
+        with capture() as registry:
+            regime_map(
+                deadlines=(2.5e-3,),
+                distances_m=(50_000.0,),
+                loads=(1.2,),
+                fidelities=(0.95,),
+                horizon_services=40.0,
+                jobs=1,
+            )
+        snapshot = registry.snapshot()["counters"]
+        assert snapshot["regime.cells"] == 1
+        wins = (
+            snapshot.get("regime.quantum_wins", 0)
+            + snapshot.get("regime.shared_wins", 0)
+            + snapshot.get("regime.coordination_wins", 0)
+        )
+        assert wins == 1
+        assert snapshot["regime.des_runs"] == 3
+
+
+class TestValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(**{**FAST, "deadlines": ()})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(**{**FAST, "loads": (1.2, 1.2)})
+
+    def test_fidelity_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(**{**FAST, "fidelities": (1.1,)})
+
+    def test_odd_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(**FAST, num_balancers=7)
+
+    def test_nonpositive_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regime_map(**{**FAST, "loads": (0.0,)})
+
+    def test_detailed_returns_report(self):
+        result, report = regime_map_detailed(
+            deadlines=(2.5e-3,),
+            distances_m=(50_000.0,),
+            loads=(1.2,),
+            fidelities=(0.95,),
+            horizon_services=40.0,
+            jobs=1,
+        )
+        assert isinstance(result, RegimeMapResult)
+        assert len(report.points) == 1
+
+    def test_default_axes_exported(self):
+        assert DEFAULT_DEADLINES == (0.3e-3, 0.7e-3, 2.5e-3)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
@@ -311,6 +312,40 @@ class TestDESAdapter:
             run_des_experiment(
                 num_balancers=4, num_servers=4, policy="psychic"
             )
+
+    def test_odd_quantum_fleet_rejected(self):
+        """An unpaired balancer would silently route at random and
+        dilute the quantum curve — refuse loudly instead."""
+        with pytest.raises(ConfigurationError, match="even"):
+            run_des_experiment(
+                num_balancers=7, num_servers=8, policy="quantum"
+            )
+
+    def test_odd_fleet_fine_for_classical_policies(self):
+        result = run_des_experiment(
+            num_balancers=7,
+            num_servers=8,
+            policy="random",
+            horizon=20.0,
+            seed=1,
+        )
+        assert result.completed > 0
+
+    def test_no_arrivals_yields_empty_sentinel(self):
+        """A horizon too short for any arrival reports the count=0
+        sentinel instead of crashing (the overloaded-cell contract)."""
+        result = run_des_experiment(
+            num_balancers=4,
+            num_servers=4,
+            policy="random",
+            horizon=0.5,
+            arrival_rate=1e-4,
+            seed=1,
+        )
+        assert result.completed == 0
+        assert result.delay_stats.is_empty
+        assert result.delay_stats.count == 0
+        assert math.isnan(result.delay_stats.mean)
 
     def test_negative_rtt_rejected(self):
         with pytest.raises(ConfigurationError):

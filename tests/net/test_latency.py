@@ -1,0 +1,169 @@
+"""Tests for the light-cone latency model and deadline-aware win rate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.games.chsh import CHSH_CLASSICAL_VALUE, CHSH_QUANTUM_VALUE
+from repro.hardware.budget import required_fidelity_for_advantage
+from repro.hardware.distribution import FIBER_LIGHT_SPEED, FiberChannel
+from repro.net.latency import (
+    LatencyModel,
+    deadline_limited_availability,
+    effective_win_probability,
+)
+
+
+class TestLatencyModel:
+    def test_one_way_matches_fiber_transit(self):
+        fiber = FiberChannel(length_m=100_000.0)
+        model = LatencyModel.from_fiber(fiber, deadline=1e-3)
+        assert model.one_way_delay == pytest.approx(fiber.transit_time)
+        assert model.rtt == pytest.approx(2 * fiber.transit_time)
+
+    def test_one_way_is_light_cone(self):
+        model = LatencyModel(distance_m=FIBER_LIGHT_SPEED, deadline=10.0)
+        assert model.one_way_delay == pytest.approx(1.0)
+
+    def test_budget_predicates(self):
+        # 100 km: one way ~0.49 ms, RTT ~0.98 ms.
+        model = LatencyModel(distance_m=100_000.0, deadline=0.7e-3)
+        assert model.can_route_remotely()
+        assert not model.can_query_and_respond()
+        assert model.coordination_slack() < 0
+
+        roomy = LatencyModel(distance_m=100_000.0, deadline=2.5e-3)
+        assert roomy.can_query_and_respond()
+        assert roomy.coordination_slack() == pytest.approx(
+            2.5e-3 - roomy.rtt
+        )
+
+    def test_below_one_way_nothing_fits(self):
+        model = LatencyModel(distance_m=100_000.0, deadline=0.3e-3)
+        assert not model.can_route_remotely()
+        assert not model.can_query_and_respond()
+
+    def test_processing_delay_tightens_coordination(self):
+        distance = 100_000.0
+        rtt = 2 * distance / FIBER_LIGHT_SPEED
+        bare = LatencyModel(distance_m=distance, deadline=rtt)
+        assert bare.can_query_and_respond()
+        loaded = LatencyModel(
+            distance_m=distance, deadline=rtt, processing_delay=1e-6
+        )
+        assert not loaded.can_query_and_respond()
+        # ...but the one-way routing bound is untouched by processing.
+        assert loaded.can_route_remotely()
+
+    def test_infinite_deadline_allowed(self):
+        model = LatencyModel(distance_m=1e6, deadline=math.inf)
+        assert model.can_route_remotely()
+        assert model.can_query_and_respond()
+
+    def test_buffering_window(self):
+        model = LatencyModel(distance_m=0.0, deadline=1e-4)
+        assert model.buffering_window(2e-4) == pytest.approx(1e-4)
+        assert model.buffering_window(5e-5) == pytest.approx(5e-5)
+        loose = LatencyModel(distance_m=0.0, deadline=math.inf)
+        assert loose.buffering_window(2e-4) == pytest.approx(2e-4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"distance_m": -1.0, "deadline": 1.0},
+            {"distance_m": 1.0, "deadline": -1e-9},
+            {"distance_m": 1.0, "deadline": float("nan")},
+            {"distance_m": 1.0, "deadline": 1.0, "processing_delay": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(**kwargs)
+
+    def test_buffering_window_requires_positive_storage(self):
+        model = LatencyModel(distance_m=1.0, deadline=1.0)
+        with pytest.raises(ConfigurationError):
+            model.buffering_window(0.0)
+
+
+class TestDeadlineLimitedAvailability:
+    def test_zero_deadline_zero_availability(self):
+        model = LatencyModel(distance_m=0.0, deadline=0.0)
+        avail = deadline_limited_availability(
+            model, pair_rate=1e6, request_rate=1.0, storage_limit=1e-4
+        )
+        assert avail == 0.0
+
+    def test_deadline_cap_degrades_supply(self):
+        kwargs = dict(pair_rate=5e3, request_rate=1e3, storage_limit=2e-4)
+        tight = deadline_limited_availability(
+            LatencyModel(distance_m=0.0, deadline=5e-5), **kwargs
+        )
+        loose = deadline_limited_availability(
+            LatencyModel(distance_m=0.0, deadline=math.inf), **kwargs
+        )
+        assert 0.0 < tight < loose < 1.0
+
+    def test_ample_supply_saturates(self):
+        model = LatencyModel(distance_m=0.0, deadline=math.inf)
+        avail = deadline_limited_availability(
+            model, pair_rate=1e9, request_rate=1.0, storage_limit=1.0
+        )
+        assert avail == pytest.approx(1.0, abs=1e-6)
+
+
+class TestEffectiveWinProbability:
+    AMPLE = dict(pair_rate=1e9, request_rate=1.0, storage_limit=1.0)
+
+    def test_infinite_deadline_recovers_chsh_knee(self):
+        """Deadline -> inf, perfect pairs, ample supply: the undegraded
+        quantum value cos^2(pi/8)."""
+        model = LatencyModel(distance_m=50_000.0, deadline=math.inf)
+        win = effective_win_probability(model, fidelity=1.0, **self.AMPLE)
+        assert win == pytest.approx(CHSH_QUANTUM_VALUE, abs=1e-6)
+
+    def test_below_one_way_forces_classical(self):
+        """Below the light-cone bound the correlation cannot be acted
+        on: the deliverable rate is exactly the shared-randomness value,
+        whatever the hardware."""
+        model = LatencyModel(distance_m=100_000.0, deadline=0.3e-3)
+        win = effective_win_probability(model, fidelity=1.0, **self.AMPLE)
+        assert win == CHSH_CLASSICAL_VALUE
+
+    def test_threshold_fidelity_ties_classical(self):
+        model = LatencyModel(distance_m=10_000.0, deadline=math.inf)
+        win = effective_win_probability(
+            model, fidelity=required_fidelity_for_advantage(), **self.AMPLE
+        )
+        assert win == pytest.approx(CHSH_CLASSICAL_VALUE, abs=1e-9)
+
+    def test_monotone_in_fidelity(self):
+        model = LatencyModel(distance_m=10_000.0, deadline=1e-3)
+        kwargs = dict(pair_rate=5e3, request_rate=1e3, storage_limit=2e-4)
+        wins = [
+            effective_win_probability(model, fidelity=f, **kwargs)
+            for f in (0.6, 0.78, 0.9, 1.0)
+        ]
+        assert wins == sorted(wins)
+
+    def test_monotone_in_deadline(self):
+        kwargs = dict(pair_rate=5e3, request_rate=1e3, storage_limit=1.0)
+        wins = [
+            effective_win_probability(
+                LatencyModel(distance_m=10_000.0, deadline=d),
+                fidelity=1.0,
+                **kwargs,
+            )
+            for d in (1e-4, 1e-3, 1e-2, math.inf)
+        ]
+        assert wins == sorted(wins)
+
+    def test_custom_classical_floor(self):
+        model = LatencyModel(distance_m=100_000.0, deadline=0.0)
+        win = effective_win_probability(
+            model, fidelity=1.0, classical_win=0.5, **self.AMPLE
+        )
+        assert win == 0.5

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -231,9 +233,18 @@ class TestMetrics:
         assert stats.count == 4
         assert stats.p50 == pytest.approx(2.5)
 
-    def test_delay_stats_empty(self):
-        with pytest.raises(NetworkError):
-            DelayStats.from_samples([])
+    def test_delay_stats_empty_sentinel(self):
+        stats = DelayStats.from_samples([])
+        assert stats.is_empty
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.p50)
+        assert math.isnan(stats.p95)
+        assert math.isnan(stats.p99)
+        assert DelayStats.empty().is_empty
+
+    def test_delay_stats_nonempty_not_sentinel(self):
+        assert not DelayStats.from_samples([1.0]).is_empty
 
     def test_fleet_metrics(self):
         env = Environment()

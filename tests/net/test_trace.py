@@ -61,6 +61,27 @@ class TestCSV:
         with pytest.raises(ConfigurationError):
             Trace.from_csv("round,tasks\n0,CQ\n")
 
+    def test_non_integer_round_index(self):
+        with pytest.raises(ConfigurationError, match="non-integer round"):
+            Trace.from_csv("round,tasks\nzero,CE\n")
+
+    def test_shuffled_rounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="0..n-1 in order"):
+            Trace.from_csv("round,tasks\n1,CE\n0,EC\n")
+
+    def test_duplicated_round_rejected(self):
+        with pytest.raises(ConfigurationError, match="0..n-1 in order"):
+            Trace.from_csv("round,tasks\n0,CE\n0,EC\n")
+
+    def test_gapped_rounds_rejected(self):
+        """A truncated copy (rounds 0 and 2, round 1 lost) fails loudly."""
+        with pytest.raises(ConfigurationError, match="expected 1, got 2"):
+            Trace.from_csv("round,tasks\n0,CE\n2,EC\n")
+
+    def test_offset_start_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected 0, got 3"):
+            Trace.from_csv("round,tasks\n3,CE\n4,EC\n")
+
 
 class TestReplayer:
     def test_replays_in_order(self, rng):

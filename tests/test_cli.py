@@ -110,6 +110,38 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["mermin", "--max-players", "2"])
 
+    def test_regime_smoke(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "regime.json"
+        code = main(
+            ["regime", "--deadlines-ms", "0.3", "2.5",
+             "--distances-km", "100", "--loads", "1.2",
+             "--fidelities", "0.95", "--horizon-services", "40",
+             "--jobs", "1", "--no-cache", "--json", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Regime map: distance 100 km" in out
+        assert "legend: Q = quantum" in out
+        # 0.3 ms sits below the 100 km one-way bound: forced classical.
+        assert "0.3 ms   | S" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["cells"]) == 2
+        assert sum(payload["counts"].values()) == 2
+
+    def test_regime_telemetry_summary(self, capsys):
+        code = main(
+            ["regime", "--deadlines-ms", "2.5", "--distances-km", "50",
+             "--loads", "1.2", "--fidelities", "0.95",
+             "--horizon-services", "40", "--jobs", "1", "--no-cache",
+             "--telemetry", "summary"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== telemetry ==" in out
+        assert '"regime.cells": 1' in out
+
     def test_calibrate_good_hardware(self, capsys):
         code = main(
             ["calibrate", "--fidelity", "0.98", "--samples", "4000"]
