@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-fast examples report clean
+.PHONY: install test test-fast bench bench-fast bench-production examples report clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,14 @@ bench:
 
 bench-fast:
 	REPRO_BENCH_SCALE=0.2 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The ISSUE 7 scale-up rung: N=10^4 balancers x 10^6 timesteps through
+# the chunked engine, n=6-8 Fig 3 screens (tens of minutes on numpy).
+bench-production:
+	REPRO_BENCH_TIER=production $(PYTHON) -m pytest \
+		benchmarks/bench_engine_speed.py \
+		"benchmarks/bench_fig3_xor_advantage.py::bench_fig3_batched_cascade" \
+		--benchmark-only
 
 examples:
 	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script; done

@@ -31,13 +31,82 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-__all__ = ["scaled", "print_block", "sweep_jobs", "sweep_cache"]
+__all__ = [
+    "scaled",
+    "print_block",
+    "sweep_jobs",
+    "sweep_cache",
+    "SCALE_LADDER",
+    "scale_tier",
+    "ladder",
+]
 
 
 def scaled(base: int, minimum: int = 1) -> int:
     """Scale a sample count by ``REPRO_BENCH_SCALE``."""
     factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
     return max(minimum, int(round(base * factor)))
+
+
+#: The shared scale ladder for the two hot-kernel benchmarks
+#: (``bench_engine_speed`` and ``bench_fig3_batched_cascade``). Each
+#: tier names one consistent set of sizes so "the production point" is
+#: the same thing in CI, in the docs, and in the trajectory JSONs:
+#:
+#: - ``smoke`` — CI perf-smoke sizes; seconds per benchmark.
+#: - ``paper`` — the default: paper-scale Fig 3/Fig 4 points plus the
+#:   large streaming point at a bounded step count (~1 min).
+#: - ``production`` — the ISSUE 7 scale-up: N=10^4 balancers x 10^6
+#:   timesteps streamed through the chunked engine (~tens of minutes on
+#:   the NumPy backend; minutes under numba).
+SCALE_LADDER = {
+    "smoke": {
+        "stream_balancers": 1_000,
+        "stream_servers": 1_250,
+        "stream_timesteps": 2_000,
+        "fig3_sizes": (6,),
+        "fig3_games": 60,
+    },
+    "paper": {
+        "stream_balancers": 10_000,
+        "stream_servers": 12_500,
+        "stream_timesteps": 20_000,
+        "fig3_sizes": (6, 7, 8),
+        "fig3_games": 420,
+    },
+    "production": {
+        "stream_balancers": 10_000,
+        "stream_servers": 12_500,
+        "stream_timesteps": 1_000_000,
+        "fig3_sizes": (6, 7, 8),
+        "fig3_games": 420,
+    },
+}
+
+
+def scale_tier() -> str:
+    """The active rung of :data:`SCALE_LADDER`.
+
+    ``REPRO_BENCH_TIER`` picks a rung by name; otherwise the tier
+    follows ``REPRO_BENCH_SCALE`` (sub-1 smoke runs get the ``smoke``
+    rung, everything else ``paper``). ``production`` is never implied —
+    it must be requested explicitly.
+    """
+    tier = os.environ.get("REPRO_BENCH_TIER", "").strip().lower()
+    if tier:
+        if tier not in SCALE_LADDER:
+            raise ValueError(
+                f"REPRO_BENCH_TIER={tier!r} is not one of "
+                f"{sorted(SCALE_LADDER)}"
+            )
+        return tier
+    factor = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return "paper" if factor >= 1.0 else "smoke"
+
+
+def ladder(key: str):
+    """One named size from the active :data:`SCALE_LADDER` rung."""
+    return SCALE_LADDER[scale_tier()][key]
 
 
 def sweep_jobs() -> int:

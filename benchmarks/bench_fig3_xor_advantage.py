@@ -20,14 +20,24 @@ import time
 
 import numpy as np
 
-from benchmarks._common import print_block, scaled, sweep_cache, sweep_jobs
+from benchmarks._common import (
+    scale_tier,
+    ladder,
+    print_block,
+    scaled,
+    sweep_cache,
+    sweep_jobs,
+)
 from repro.analysis import FigureData, format_figure, format_table
+from repro.backend import resolve_backend_name
 from repro.exec import SweepRunner
 from repro.games import (
     advantage_decisions,
     advantage_probability,
     random_affinity_graph,
+    sample_game_batch,
     screen_advantage_batch,
+    screen_game_batch,
     xor_game_from_graph,
     xor_quantum_value,
 )
@@ -204,6 +214,53 @@ def bench_fig3_batched_cascade(benchmark):
     trajectory["stage_totals"] = stage_totals
     trajectory["cascade_efficiency"] = cascade_efficiency
 
+    # --- scale-up: n=6..8, where ADMM escalations actually happen -----
+    # No reference race here — the per-game loop would pay a full SDP
+    # per game at n=8. Cross-backend verdict agreement at these sizes is
+    # covered by tests/backend/test_parity.py; the gate here is that the
+    # per-n screen budget still escalates a nonzero share of games to
+    # the batched ADMM stage (the cascade is screening, not guessing).
+    tier = scale_tier()
+    scale_sizes = ladder("fig3_sizes")
+    scale_games = ladder("fig3_games")
+    scale_rows = []
+    scale_points = []
+    for vertices in scale_sizes:
+        rng = RandomStreams(42).stream(f"fig3:v={vertices}:p=0.5")
+        start = time.perf_counter()
+        batch = sample_game_batch(vertices, 0.5, scale_games, rng)
+        report = screen_game_batch(batch)
+        seconds = time.perf_counter() - start
+        counts = report.stage_counts()
+        scale_rows.append(
+            [
+                vertices,
+                report.advantage_probability,
+                seconds,
+                scale_games / seconds,
+                counts["sdp"],
+            ]
+        )
+        scale_points.append(
+            {
+                "vertices": vertices,
+                "p_exclusive": 0.5,
+                "games": scale_games,
+                "advantage_probability": report.advantage_probability,
+                "seconds": seconds,
+                "stage_counts": counts,
+                "sdp_escalations": counts["sdp"],
+            }
+        )
+        if tier != "smoke":
+            assert counts["sdp"] > 0, (
+                f"no SDP escalations at n={vertices}: the screen budget "
+                "is deciding everything without ADMM, so the scale-up "
+                "point no longer exercises the hot kernel"
+            )
+    trajectory["backend"] = resolve_backend_name()
+    trajectory["scale_up"] = {"tier": tier, "points": scale_points}
+
     body = format_table(
         ["p", "P(adv)", "reference s", "batched s", "speedup", "to SDP"],
         rows,
@@ -218,6 +275,12 @@ def bench_fig3_batched_cascade(benchmark):
         f"upper={stage_totals['upper']} sdp={stage_totals['sdp']}"
         f"\nper-game decisions: bit-identical to the reference on all "
         f"{total_games} games"
+    )
+    body += f"\n\nscale-up at p=0.5 (tier '{tier}'):\n"
+    body += format_table(
+        ["n", "P(adv)", "seconds", "games/s", "to SDP"],
+        scale_rows,
+        float_format="{:.4f}",
     )
     print_block("Fig 3 — batched cascade vs reference pipeline", body)
 

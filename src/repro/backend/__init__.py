@@ -1,0 +1,173 @@
+"""Pluggable array-kernel backends for the two hot kernels.
+
+The Fig 4 streaming engine (:mod:`repro.lb.engine`) and the stacked
+ADMM solver (:mod:`repro.sdp.batch`) route their inner kernels through
+an :class:`~repro.backend.base.ArrayBackend` resolved here instead of
+hard-coding NumPy. Two backends ship today:
+
+- ``numpy`` — the reference implementations; always available.
+- ``numba`` — ``@njit``-compiled variants of the same kernels,
+  registered only when :mod:`numba` is importable. Kernel-for-kernel
+  the numba versions execute the same arithmetic in the same order as
+  the NumPy reference, so the Fig 4 server model is bit-identical
+  across backends and the SDP projections agree to LAPACK tolerance
+  (both are asserted by ``tests/backend/``).
+
+The registry is open: :func:`register_backend` accepts any name with a
+factory and an availability probe, so a CuPy/GPU backend can slot in
+without touching the dispatch sites.
+
+Resolution order for :func:`get_backend` / :func:`resolve_backend_name`:
+an explicit argument wins, then the ``REPRO_BACKEND`` environment
+variable (the CLI's ``--backend`` flag sets it so sweep workers
+inherit the choice), then ``"auto"``, which picks the first available
+entry of :data:`AUTO_ORDER` (numba when importable, else numpy).
+Requesting an unavailable backend by name warns and falls back to
+numpy rather than failing the run.
+
+The resolved name participates in the sweep result-cache key
+(:func:`repro.exec.cache.cache_key`) and is recorded on every
+:class:`~repro.obs.manifest.RunManifest`, so cached results never leak
+across backends and every artifact says which kernels produced it.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import importlib.util
+import os
+import warnings
+from collections.abc import Callable
+
+from repro.backend.base import ArrayBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AUTO_ORDER",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend_name",
+]
+
+#: Preference order for ``backend="auto"``: first available entry wins.
+AUTO_ORDER = ("numba", "numpy")
+
+
+@functools.cache
+def numba_available() -> bool:
+    """Whether the numba JIT backend can be imported on this host."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - defensive
+        return False
+
+
+def _load_numpy_backend() -> ArrayBackend:
+    module = importlib.import_module("repro.backend.numpy_backend")
+    return module.make_backend()
+
+
+def _load_numba_backend() -> ArrayBackend:
+    module = importlib.import_module("repro.backend.numba_backend")
+    return module.make_backend()
+
+
+#: name -> (factory, availability probe). Ordered: registration order is
+#: reported by :func:`registered_backends`.
+_REGISTRY: dict[str, tuple[Callable[[], ArrayBackend], Callable[[], bool]]] = {}
+
+#: Instantiated backends, keyed by resolved name.
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], ArrayBackend],
+    *,
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register (or replace) a backend under ``name``.
+
+    ``factory`` is called lazily on first :func:`get_backend` resolution
+    so heavyweight imports (numba compilation, CUDA context creation)
+    only happen when the backend is actually selected. ``available``
+    is a cheap probe consulted during resolution; unavailable backends
+    are skipped by ``auto`` and trigger a warn-and-fallback when
+    requested by name.
+    """
+    if not name or not name.islower():
+        raise ConfigurationError(
+            f"backend name must be non-empty lowercase, got {name!r}"
+        )
+    _REGISTRY[name] = (factory, available)
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    return tuple(_REGISTRY)
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backends whose availability probe passes."""
+    return tuple(
+        name for name, (_, available) in _REGISTRY.items() if available()
+    )
+
+
+def resolve_backend_name(name: str | None = None) -> str:
+    """Resolve a backend request to the name that will actually run.
+
+    Resolution: explicit ``name`` > ``REPRO_BACKEND`` > ``"auto"``.
+    ``auto`` picks the first available entry of :data:`AUTO_ORDER`
+    (falling back to any available registered backend for third-party
+    registrations). A by-name request for a registered-but-unavailable
+    backend warns and resolves to ``numpy``; an unknown name raises.
+    """
+    requested = (
+        name
+        if name is not None
+        else os.environ.get("REPRO_BACKEND", "").strip()
+    ) or "auto"
+    requested = requested.lower()
+    if requested == "auto":
+        for candidate in AUTO_ORDER:
+            entry = _REGISTRY.get(candidate)
+            if entry is not None and entry[1]():
+                return candidate
+        for candidate in available_backends():  # pragma: no cover
+            return candidate
+        raise ConfigurationError("no array backend is available")
+    if requested not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown backend {requested!r}; registered: "
+            f"{sorted(_REGISTRY)} (plus 'auto')"
+        )
+    if not _REGISTRY[requested][1]():
+        warnings.warn(
+            f"backend {requested!r} requested but not available on this "
+            "host; falling back to 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "numpy"
+    return requested
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The resolved, instantiated backend for ``name`` (see resolution
+    rules on :func:`resolve_backend_name`)."""
+    resolved = resolve_backend_name(name)
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        instance = _INSTANCES[resolved] = _REGISTRY[resolved][0]()
+    return instance
+
+
+register_backend("numpy", _load_numpy_backend)
+register_backend("numba", _load_numba_backend, available=numba_available)

@@ -1,0 +1,73 @@
+"""The kernel contract every array backend implements.
+
+An :class:`ArrayBackend` bundles the small set of hot kernels the
+dispatch sites need. Inputs and outputs are always NumPy ndarrays at
+the boundary — a backend is free to move data to its own device or
+representation internally, but what it hands back must be host arrays,
+so callers never grow backend-specific branches.
+
+Kernel semantics (the NumPy implementations in
+:mod:`repro.backend.numpy_backend` are the reference — alternative
+backends must match them):
+
+``serve_chunk``
+    Advance the Fig 4 array server model over one chunk of timesteps:
+    land the chunk's per-(step, server) arrival counts, serve each step
+    under the paper/serial discipline (up to two type-C in parallel,
+    else one type-E), and accumulate the post-warmup accounting. The
+    count arrays are a *window*: column ``j`` of ``counts_*`` holds the
+    queued-task count for arrival step ``base + j``, and head pointers
+    are absolute arrival steps. Must be exactly the deque semantics of
+    the reference engine — integer accounting and the float
+    ``queue_length_sum`` accumulation order are part of the contract,
+    which is what makes results bit-identical across backends. The
+    running ``queue_length_sum`` is carried *through* the kernel (in
+    and out) so the addition sequence — and therefore the result — is
+    also bit-identical across chunk sizes.
+
+``searchsorted_right``
+    ``np.searchsorted(table, values, side="right")`` for a sorted 1-D
+    ``table`` — the Born-table outcome lookup of the paired policies.
+    Exact integer results are required (binary search on the same
+    float comparisons), not approximations.
+
+``project_psd_batch``
+    Project every slice of a ``(B, n, n)`` stack onto the PSD cone
+    (symmetrize, eigendecompose, clip negative eigenvalues,
+    reconstruct). Backends may decompose slice-by-slice or stacked;
+    agreement is to LAPACK tolerance rather than bit-exact, and the
+    SDP parity suites bound the difference explicitly.
+
+``frobenius_batch``
+    Frobenius norm of every slice of a ``(B, n, n)`` stack — the ADMM
+    residual check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["ArrayBackend"]
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """A named bundle of hot-kernel implementations.
+
+    Attributes:
+        name: registry name (``"numpy"``, ``"numba"``, ...).
+        serve_chunk: Fig 4 server-model chunk kernel (see module doc).
+        searchsorted_right: sorted-table right-bisect lookup.
+        project_psd_batch: batched PSD cone projection.
+        frobenius_batch: batched Frobenius norms.
+    """
+
+    name: str
+    serve_chunk: Callable
+    searchsorted_right: Callable
+    project_psd_batch: Callable
+    frobenius_batch: Callable
+
+    def __repr__(self) -> str:  # keep logs/manifests short
+        return f"ArrayBackend({self.name!r})"

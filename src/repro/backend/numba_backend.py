@@ -1,0 +1,258 @@
+"""Numba ``@njit`` implementations of the backend kernel contract.
+
+Import this module only when :mod:`numba` is importable — the registry
+in :mod:`repro.backend` gates it behind an availability probe, so a
+host without numba never touches this file.
+
+Every kernel executes the same arithmetic as the NumPy reference in
+:mod:`repro.backend.numpy_backend`, in the same order:
+
+- ``serve_chunk`` fuses the per-step server sweep into one compiled
+  loop (this is where the backend earns its speedup — the NumPy path
+  pays Python dispatch per timestep, the compiled path pays it per
+  chunk). Integer accounting is exact and the ``queue_length_sum``
+  float accumulation order matches, so results are bit-identical to
+  the NumPy backend.
+- ``searchsorted_right`` is a hand-rolled right-bisect with
+  ``np.searchsorted(..., side="right")`` semantics (exact integer
+  agreement).
+- ``project_psd_batch`` eigendecomposes slice-by-slice with the same
+  LAPACK driver NumPy uses; agreement is to LAPACK tolerance and is
+  bounded explicitly in the parity suite.
+
+Kernels are compiled lazily on first call and cached on disk
+(``cache=True``) so sweep worker processes reuse the compilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["make_backend"]
+
+
+@njit(cache=True)
+def _serve_chunk_jit(
+    arrivals_c,
+    arrivals_e,
+    counts_c,
+    counts_e,
+    head_c,
+    head_e,
+    queued_c,
+    queued_e,
+    base,
+    start,
+    num_balancers,
+    warmup,
+    serve_two_c,
+    max_total_queue,
+    total_queued,
+    queue_length_sum,
+):
+    chunk = arrivals_c.shape[0]
+    num_servers = counts_c.shape[0]
+    served = 0
+    arrived = 0
+    wait_sum = 0
+    measured_steps = 0
+    stopped = False
+    steps_done = 0
+
+    for offset in range(chunk):
+        step = start + offset
+        col = step - base
+        for s in range(num_servers):
+            if queued_c[s] == 0:
+                head_c[s] = step
+            if queued_e[s] == 0:
+                head_e[s] = step
+            a = arrivals_c[offset, s]
+            counts_c[s, col] = a
+            queued_c[s] += a
+            b = arrivals_e[offset, s]
+            counts_e[s, col] = b
+            queued_e[s] += b
+
+        step_served = 0
+        step_wait = 0
+        for s in range(num_servers):
+            if queued_c[s] > 0:
+                h = head_c[s]
+                while counts_c[s, h - base] == 0:
+                    h += 1
+                counts_c[s, h - base] -= 1
+                queued_c[s] -= 1
+                head_c[s] = h
+                step_wait += step - h
+                step_served += 1
+                if serve_two_c and queued_c[s] > 0:
+                    h = head_c[s]
+                    while counts_c[s, h - base] == 0:
+                        h += 1
+                    counts_c[s, h - base] -= 1
+                    queued_c[s] -= 1
+                    head_c[s] = h
+                    step_wait += step - h
+                    step_served += 1
+            elif queued_e[s] > 0:
+                h = head_e[s]
+                while counts_e[s, h - base] == 0:
+                    h += 1
+                counts_e[s, h - base] -= 1
+                queued_e[s] -= 1
+                head_e[s] = h
+                step_wait += step - h
+                step_served += 1
+
+        total_queued += num_balancers - step_served
+        steps_done += 1
+        if step >= warmup:
+            arrived += num_balancers
+            served += step_served
+            wait_sum += step_wait
+            queue_length_sum += total_queued / num_servers
+            measured_steps += 1
+        if total_queued > max_total_queue:
+            stopped = True
+            break
+
+    return (
+        steps_done,
+        total_queued,
+        served,
+        arrived,
+        wait_sum,
+        queue_length_sum,
+        measured_steps,
+        stopped,
+    )
+
+
+def serve_chunk(
+    arrivals_c,
+    arrivals_e,
+    counts_c,
+    counts_e,
+    head_c,
+    head_e,
+    queued_c,
+    queued_e,
+    base,
+    start,
+    num_balancers,
+    warmup,
+    serve_two_c,
+    max_total_queue,
+    total_queued,
+    queue_length_sum,
+):
+    """Compiled server-model chunk kernel; NumPy-reference semantics."""
+    out = _serve_chunk_jit(
+        np.ascontiguousarray(arrivals_c),
+        np.ascontiguousarray(arrivals_e),
+        counts_c,
+        counts_e,
+        head_c,
+        head_e,
+        queued_c,
+        queued_e,
+        base,
+        start,
+        num_balancers,
+        warmup,
+        serve_two_c,
+        float(max_total_queue),
+        total_queued,
+        float(queue_length_sum),
+    )
+    (steps_done, total, served, arrived, wait_sum,
+     queue_length_sum, measured_steps, stopped) = out
+    return (
+        int(steps_done),
+        int(total),
+        int(served),
+        int(arrived),
+        int(wait_sum),
+        float(queue_length_sum),
+        int(measured_steps),
+        bool(stopped),
+    )
+
+
+@njit(cache=True)
+def _searchsorted_right_jit(table, values):
+    out = np.empty(values.size, dtype=np.int64)
+    for i in range(values.size):
+        v = values[i]
+        lo = 0
+        hi = table.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if v < table[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        out[i] = lo
+    return out
+
+
+def searchsorted_right(table, values):
+    """Right-bisect lookup matching ``np.searchsorted(side="right")``."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = np.ascontiguousarray(values.reshape(-1))
+    table = np.ascontiguousarray(np.asarray(table, dtype=np.float64))
+    return _searchsorted_right_jit(table, flat).reshape(values.shape)
+
+
+@njit(cache=True)
+def _project_psd_batch_jit(matrices):
+    num, n = matrices.shape[0], matrices.shape[1]
+    out = np.empty_like(matrices)
+    for b in range(num):
+        sym = (matrices[b] + matrices[b].T) / 2.0
+        eigs, vecs = np.linalg.eigh(sym)
+        clipped = np.maximum(eigs, 0.0)
+        out[b] = (vecs * clipped) @ vecs.T
+    return out
+
+
+def project_psd_batch(matrices):
+    """Per-slice compiled PSD projection of a ``(B, n, n)`` stack."""
+    return _project_psd_batch_jit(
+        np.ascontiguousarray(np.asarray(matrices, dtype=np.float64))
+    )
+
+
+@njit(cache=True)
+def _frobenius_batch_jit(matrices):
+    num = matrices.shape[0]
+    out = np.empty(num, dtype=np.float64)
+    for b in range(num):
+        acc = 0.0
+        for i in range(matrices.shape[1]):
+            for j in range(matrices.shape[2]):
+                acc += matrices[b, i, j] * matrices[b, i, j]
+        out[b] = np.sqrt(acc)
+    return out
+
+
+def frobenius_batch(matrices):
+    """Compiled Frobenius norms of a ``(B, n, n)`` stack."""
+    return _frobenius_batch_jit(
+        np.ascontiguousarray(np.asarray(matrices, dtype=np.float64))
+    )
+
+
+def make_backend() -> ArrayBackend:
+    """The numba backend instance (kernels compile on first use)."""
+    return ArrayBackend(
+        name="numba",
+        serve_chunk=serve_chunk,
+        searchsorted_right=searchsorted_right,
+        project_psd_batch=project_psd_batch,
+        frobenius_batch=frobenius_batch,
+    )

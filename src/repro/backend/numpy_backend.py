@@ -1,0 +1,190 @@
+"""Reference NumPy implementations of the backend kernel contract.
+
+These are the semantics every other backend must match (see
+:mod:`repro.backend.base`). The serve kernel is the windowed rewrite of
+the original full-materialization array server model: identical
+arithmetic in identical order, just indexed relative to a sliding
+``base`` arrival step so the engine can stream chunks with bounded
+memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["make_backend", "serve_chunk", "searchsorted_right"]
+
+
+def _advance_heads(counts, heads, mask, base):
+    """Move each masked server's head to its first nonzero count.
+
+    Heads only move forward, so the total advance over a run is bounded
+    by the arrival-step span per server — amortized O(1) per serve.
+    """
+    selected = np.flatnonzero(mask)
+    while selected.size:
+        stale = counts[selected, heads[selected] - base] == 0
+        if not stale.any():
+            return
+        selected = selected[stale]
+        heads[selected] += 1
+
+
+def _pop_earliest(counts, heads, totals, mask, now, base):
+    """Serve one earliest-arrival task per masked server.
+
+    Returns ``(count_served, wait_sum)`` for the step's accounting.
+    """
+    if not mask.any():
+        return 0, 0
+    _advance_heads(counts, heads, mask, base)
+    servers = np.flatnonzero(mask)
+    arrivals = heads[servers]
+    counts[servers, arrivals - base] -= 1
+    totals[servers] -= 1
+    return servers.size, int((now - arrivals).sum())
+
+
+def serve_chunk(
+    arrivals_c,
+    arrivals_e,
+    counts_c,
+    counts_e,
+    head_c,
+    head_e,
+    queued_c,
+    queued_e,
+    base,
+    start,
+    num_balancers,
+    warmup,
+    serve_two_c,
+    max_total_queue,
+    total_queued,
+    queue_length_sum,
+):
+    """Advance the array server model over one chunk of timesteps.
+
+    Args:
+        arrivals_c / arrivals_e: ``(chunk, M)`` per-step, per-server
+            arrival counts by type.
+        counts_c / counts_e: ``(M, capacity)`` windowed queue counts;
+            column ``j`` is arrival step ``base + j``.
+        head_c / head_e: ``(M,)`` absolute arrival-step head pointers.
+        queued_c / queued_e: ``(M,)`` per-server queued totals by type.
+        base: arrival step of window column 0.
+        start: absolute step of chunk row 0.
+        num_balancers: arrivals per step (accounting).
+        warmup: steps before ``warmup`` are excluded from averages.
+        serve_two_c: "paper" discipline (two type-C per step) when True,
+            "serial" (one task per step, C first) when False.
+        max_total_queue: early-stop threshold on the system-wide queue.
+        total_queued: system-wide queued count carried in from the
+            previous chunk.
+        queue_length_sum: running post-warmup queue-length accumulator
+            carried in from the previous chunk. Accumulating *inside*
+            the kernel keeps the float addition sequence identical to a
+            monolithic run, so results are bit-identical across chunk
+            sizes.
+
+    Returns:
+        ``(steps_done, total_queued, served, arrived, wait_sum,
+        queue_length_sum, measured_steps, stopped)`` where
+        ``steps_done`` counts the chunk steps actually executed and
+        ``stopped`` flags a ``max_total_queue`` early stop. The state
+        arrays are updated in place.
+    """
+    chunk = arrivals_c.shape[0]
+    num_servers = counts_c.shape[0]
+    served = 0
+    arrived = 0
+    wait_sum = 0
+    measured_steps = 0
+    stopped = False
+    steps_done = 0
+
+    for offset in range(chunk):
+        step = start + offset
+        step_c = arrivals_c[offset]
+        step_e = arrivals_e[offset]
+        # Fast-forward empty servers' heads to this step before the new
+        # arrivals land, so heads never rescan long-gone history.
+        head_c[queued_c == 0] = step
+        head_e[queued_e == 0] = step
+        col = step - base
+        counts_c[:, col] = step_c
+        counts_e[:, col] = step_e
+        queued_c += step_c
+        queued_e += step_e
+
+        have_c = queued_c > 0
+        step_served, step_wait = _pop_earliest(
+            counts_c, head_c, queued_c, have_c, step, base
+        )
+        if serve_two_c:
+            second = have_c & (queued_c > 0)
+            extra_served, extra_wait = _pop_earliest(
+                counts_c, head_c, queued_c, second, step, base
+            )
+            step_served += extra_served
+            step_wait += extra_wait
+        only_e = ~have_c & (queued_e > 0)
+        e_served, e_wait = _pop_earliest(
+            counts_e, head_e, queued_e, only_e, step, base
+        )
+        step_served += e_served
+        step_wait += e_wait
+
+        total_queued += num_balancers - step_served
+        steps_done += 1
+        if step >= warmup:
+            arrived += num_balancers
+            served += step_served
+            wait_sum += step_wait
+            queue_length_sum += total_queued / num_servers
+            measured_steps += 1
+        if total_queued > max_total_queue:
+            stopped = True
+            break
+
+    return (
+        steps_done,
+        total_queued,
+        served,
+        arrived,
+        wait_sum,
+        queue_length_sum,
+        measured_steps,
+        stopped,
+    )
+
+
+def searchsorted_right(table, values):
+    """``np.searchsorted(table, values, side="right")`` verbatim."""
+    return np.searchsorted(table, values, side="right")
+
+
+def project_psd_batch(matrices):
+    """PSD-project every slice of a ``(B, n, n)`` stack (stacked eigh)."""
+    sym = (matrices + np.swapaxes(matrices, -1, -2)) / 2.0
+    eigs, vecs = np.linalg.eigh(sym)
+    clipped = eigs.clip(min=0.0)
+    return (vecs * clipped[..., None, :]) @ np.swapaxes(vecs, -1, -2)
+
+
+def frobenius_batch(matrices):
+    """Frobenius norm of every matrix in a ``(B, n, n)`` stack."""
+    return np.sqrt(np.einsum("bij,bij->b", matrices, matrices))
+
+
+def make_backend() -> ArrayBackend:
+    """The reference backend instance."""
+    return ArrayBackend(
+        name="numpy",
+        serve_chunk=serve_chunk,
+        searchsorted_right=searchsorted_right,
+        project_psd_batch=project_psd_batch,
+        frobenius_batch=frobenius_batch,
+    )

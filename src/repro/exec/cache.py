@@ -49,7 +49,11 @@ __all__ = [
 #: a ``method`` parameter and the fig3 CLI now caches its points; the
 #: work-function fingerprint does not chase transitive imports, so the
 #: pipeline change must invalidate old Fig 3 entries here.
-CACHE_VERSION = 4
+#: v5: pluggable array backends + chunked streaming Fig 4 engine — keys
+#: now embed the resolved backend name, the paired-policy per-seed
+#: values changed for multi-chunk runs, and the ``n >= 6`` Fig 3 screen
+#: budget changed; pre-backend entries must not replay.
+CACHE_VERSION = 5
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
@@ -168,13 +172,23 @@ def stable_fingerprint(obj) -> str:
     return _fingerprint(obj, set())
 
 
-def cache_key(config, seed: int, *, code_token: str = "") -> str:
-    """The cache key for one (config, seed) sweep point."""
+def cache_key(
+    config, seed: int, *, code_token: str = "", backend: str | None = None
+) -> str:
+    """The cache key for one (config, seed) sweep point.
+
+    ``backend`` is the resolved array-backend name (see
+    :mod:`repro.backend`); it participates in the key so results never
+    replay across backends — numpy and numba agree bit-for-bit on the
+    Fig 4 kernels but only to LAPACK tolerance on the SDP projections,
+    and a cache hit must mean "this exact computation".
+    """
     material = "|".join(
         [
             f"v{CACHE_VERSION}",
             f"repro-{__version__}",
             code_token,
+            f"backend:{backend or 'numpy'}",
             stable_fingerprint(config),
             f"seed:{int(seed)}",
         ]

@@ -248,9 +248,16 @@ class SweepRunner:
             self._progress(message)
 
     def _key(self, config, seed: int) -> str:
+        from repro.backend import resolve_backend_name
+
         if self._code_token is None:
             self._code_token = stable_fingerprint(self._fn)
-        return cache_key(config, seed, code_token=self._code_token)
+        return cache_key(
+            config,
+            seed,
+            code_token=self._code_token,
+            backend=resolve_backend_name(),
+        )
 
     def run(self, points: Iterable[tuple[object, int]]) -> RunReport:
         """Evaluate every (config, seed) point and return the report.
@@ -312,10 +319,13 @@ class SweepRunner:
                     )
             metrics_snapshot = run_registry.snapshot()
 
+        from repro.backend import resolve_backend_name
+
         wall_clock = time.perf_counter() - start
         run_manifest = _manifest.RunManifest.collect(
             "sweep",
             seeds=tuple(seed for _, seed in submitted),
+            backend=resolve_backend_name(),
             config={
                 "label": self.label,
                 "jobs": self.jobs,

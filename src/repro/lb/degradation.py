@@ -513,12 +513,13 @@ class DegradedPolicy(GamePairedAssignment):
                 raise StrategyError(
                     "task inputs outside the strategy's alphabet"
                 )
+            from repro.backend import get_backend
+
+            lookup = get_backend().searchsorted_right
             s0, s1 = self._server_pair_batch(steps, num_pairs, rng)
             block = x * ny + y
             uniform = rng.random((steps, num_pairs))
-            position = np.searchsorted(
-                self._flat_cumulative, block + uniform, side="right"
-            )
+            position = lookup(self._flat_cumulative, block + uniform)
             outcome = np.minimum(position - 4 * block, 3)
             if self._fallback_random:
                 out_a = outcome >> 1
@@ -534,9 +535,7 @@ class DegradedPolicy(GamePairedAssignment):
                     live, right, fb_right
                 )
             else:
-                fb_position = np.searchsorted(
-                    self._fallback_flat, block + uniform, side="right"
-                )
+                fb_position = lookup(self._fallback_flat, block + uniform)
                 fb_outcome = np.minimum(fb_position - 4 * block, 3)
                 outcome = np.where(live, outcome, fb_outcome)
                 out_a = outcome >> 1

@@ -1,4 +1,4 @@
-"""Batched numpy engine for the Fig 4 timestep simulation.
+"""Chunked streaming engine for the Fig 4 timestep simulation.
 
 The reference engine in :mod:`repro.lb.simulation` interprets every
 timestep in Python: per-balancer policy draws, per-server tuple-deques,
@@ -6,42 +6,70 @@ and O(queue) ``_find`` scans that go quadratic once the system is
 overloaded. This module replaces that inner loop for the policy /
 discipline / workload combinations that vectorize:
 
-1. **Batched workload** — the workload draws its whole ``(steps, N)``
-   task matrix up front (``draw_batch``).
-2. **Batched policy** — the policy maps the task matrix to a
-   ``(steps, N)`` server-choice matrix in one shot (``assign_batch``).
-   Feedback policies (e.g. power-of-two choices) cannot do this and
-   fall back to the reference loop under ``engine="auto"``.
-3. **Array server model** — per-(server, type) counts of queued tasks
-   indexed by arrival step, with monotone head pointers, replace the
-   deques. The "paper" and "serial" disciplines serve FIFO *within*
-   type, so the count arrays reproduce the deque semantics exactly,
-   including per-task wait accounting. The "fifo" discipline interleaves
-   types at the head of line and stays on the reference engine.
+1. **Chunked batched workload** — the run is split into chunks of
+   ``chunk_steps`` timesteps. Each chunk draws its ``(chunk, N)`` task
+   matrix (``draw_batch``), maps it to server choices in one shot
+   (``assign_batch``), and pre-aggregates per-(step, server) arrival
+   counts by type. Feedback policies (e.g. power-of-two choices) cannot
+   batch and fall back to the reference loop under ``engine="auto"``.
+2. **Windowed array server model** — per-(server, type) counts of
+   queued tasks indexed by arrival step replace the deques. The count
+   arrays are a sliding *window*: column ``j`` holds arrival step
+   ``base + j``, and the dead prefix (arrival steps every queue has
+   drained past) is compacted away between chunks. Peak memory is
+   therefore ``O(M * (queue-age span + chunk))`` instead of
+   ``O(M * timesteps)`` — millions of timesteps stream through a
+   bounded window (the ``engine.window_bytes`` gauge records the peak).
+3. **Pluggable kernels** — the per-chunk serve loop is dispatched
+   through :func:`repro.backend.get_backend`: the NumPy reference
+   kernel, or the numba ``@njit`` variant when available. Both execute
+   identical arithmetic in identical order, so results are
+   bit-identical across backends (asserted by ``tests/backend/``).
 
-Metric equivalence: for a fixed task and choice matrix the array model
-serves the same multiset of (type, arrival-step) tasks each step as the
-deques, so ``SimulationResult`` is bit-identical. Policies whose batched
-draws consume the RNG exactly like their sequential draws (uniform
-random, round robin) are therefore per-seed identical across engines;
-the paired-game and dedicated-pool policies draw in a different order
-and match in distribution instead (see ``docs/reproducing.md``).
-
-Memory: the count arrays are ``2 * num_servers * timesteps`` int32
-entries, e.g. ~0.8 MB for the Fig 4 point (M=50, T=2000).
+Metric equivalence: for a fixed task and choice matrix the windowed
+model serves the same multiset of (type, arrival-step) tasks each step
+as the deques, so ``SimulationResult`` is bit-identical to the
+reference engine. Policies whose batched draws consume the RNG exactly
+like their sequential draws (uniform random, round robin, Bernoulli
+workloads — all row-major per step) are additionally per-seed identical
+across engines *and* chunk sizes; the paired-game and dedicated-pool
+policies draw per-chunk in a different order and match in distribution
+instead (see ``docs/reproducing.md``). The default chunk of
+:data:`DEFAULT_CHUNK_STEPS` steps keeps runs up to 2048 steps —
+including every paper-scale Fig 4 point — in a single chunk, where even
+the paired policies reproduce the pre-chunking per-seed values.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.errors import ConfigurationError
 from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 
-__all__ = ["vectorization_unsupported_reason", "run_vectorized", "VECTORIZED_DISCIPLINES"]
+__all__ = [
+    "DEFAULT_CHUNK_STEPS",
+    "VECTORIZED_DISCIPLINES",
+    "run_vectorized",
+    "vectorization_unsupported_reason",
+]
 
 #: Service disciplines the array server model reproduces exactly.
 VECTORIZED_DISCIPLINES = ("paper", "serial")
+
+#: Default timesteps per chunk. Chosen so paper-scale runs (≤ 2000
+#: steps) execute as a single chunk — preserving historical per-seed
+#: values for every policy — while production-scale runs stream.
+DEFAULT_CHUNK_STEPS = 2048
+
+#: Cap on ``chunk * max(N, M)`` cells for the *default* chunk size, so
+#: huge fleets shrink the chunk instead of materializing multi-GB draw
+#: and arrival matrices. An explicit ``chunk_steps`` is always honored.
+CHUNK_CELL_BUDGET = 1 << 22
 
 
 def vectorization_unsupported_reason(policy, workload, discipline) -> str | None:
@@ -67,34 +95,70 @@ def vectorization_unsupported_reason(policy, workload, discipline) -> str | None
     return None
 
 
-def _advance_heads(counts, heads, mask):
-    """Move each masked server's head to its first nonzero count.
+def resolve_chunk_steps(
+    chunk_steps: int | None, timesteps: int, num_balancers: int, num_servers: int
+) -> int:
+    """The chunk size a run will use.
 
-    Heads only move forward, so the total advance over a run is bounded
-    by ``timesteps`` per server — amortized O(1) per serve.
+    An explicit ``chunk_steps`` wins verbatim (tests use tiny chunks to
+    force window compaction). The default is
+    :data:`DEFAULT_CHUNK_STEPS`, shrunk for very wide systems so the
+    per-chunk draw/arrival matrices stay within
+    :data:`CHUNK_CELL_BUDGET` cells.
     """
-    selected = np.flatnonzero(mask)
-    while selected.size:
-        stale = counts[selected, heads[selected]] == 0
-        if not stale.any():
-            return
-        selected = selected[stale]
-        heads[selected] += 1
+    if chunk_steps is not None:
+        if chunk_steps < 1:
+            raise ConfigurationError(f"chunk_steps must be >= 1, got {chunk_steps}")
+        return min(chunk_steps, timesteps)
+    width = max(num_balancers, num_servers, 1)
+    budgeted = max(1, CHUNK_CELL_BUDGET // width)
+    return min(DEFAULT_CHUNK_STEPS, budgeted, timesteps)
 
 
-def _pop_earliest(counts, heads, totals, mask, now):
-    """Serve one earliest-arrival task per masked server.
+def _compact_and_fit(counts_c, counts_e, head_c, head_e, queued_c, queued_e,
+                     base, start, end):
+    """Make the window cover arrival steps ``[base', end)``.
 
-    Returns ``(count_served, wait_sum)`` for the step's accounting.
+    First drops the dead prefix — columns before the earliest live head
+    (or before ``start`` when all queues are empty) — then grows the
+    arrays geometrically if the chunk still does not fit. Stale heads of
+    empty servers may lag behind the new base; the serve kernels reset
+    them to the current step before dereferencing, so compaction past
+    them is safe.
+
+    Returns ``(counts_c, counts_e, base)``.
     """
-    if not mask.any():
-        return 0, 0
-    _advance_heads(counts, heads, mask)
-    servers = np.flatnonzero(mask)
-    arrivals = heads[servers]
-    counts[servers, arrivals] -= 1
-    totals[servers] -= 1
-    return servers.size, int((now - arrivals).sum())
+    capacity = counts_c.shape[1]
+    if end - base <= capacity:
+        return counts_c, counts_e, base
+
+    live = []
+    if queued_c.any():
+        live.append(int(head_c[queued_c > 0].min()))
+    if queued_e.any():
+        live.append(int(head_e[queued_e > 0].min()))
+    new_base = min(min(live), start) if live else start
+    shift = new_base - base
+    used = start - base
+    if shift > 0:
+        keep = used - shift
+        if keep > 0:
+            counts_c[:, :keep] = counts_c[:, shift:used]
+            counts_e[:, :keep] = counts_e[:, shift:used]
+        counts_c[:, max(keep, 0):used] = 0
+        counts_e[:, max(keep, 0):used] = 0
+        base = new_base
+        used = start - base
+
+    needed = end - base
+    if needed > capacity:
+        new_capacity = max(needed, 2 * capacity)
+        grown_c = np.zeros((counts_c.shape[0], new_capacity), dtype=np.int32)
+        grown_e = np.zeros_like(grown_c)
+        grown_c[:, :used] = counts_c[:, :used]
+        grown_e[:, :used] = counts_e[:, :used]
+        counts_c, counts_e = grown_c, grown_e
+    return counts_c, counts_e, base
 
 
 def run_vectorized(
@@ -107,120 +171,134 @@ def run_vectorized(
     discipline: str,
     warmup: int,
     max_total_queue: float,
+    backend: str | ArrayBackend | None = None,
+    chunk_steps: int | None = None,
 ):
-    """Run the batched engine; returns a ``SimulationResult``.
+    """Run the chunked streaming engine; returns a ``SimulationResult``.
 
     The caller (:func:`repro.lb.simulation.run_timestep_simulation`)
     validates arguments and checks support via
     :func:`vectorization_unsupported_reason` first.
+
+    Args:
+        backend: an :class:`~repro.backend.ArrayBackend`, a registry
+            name, or ``None`` for the environment/auto resolution of
+            :func:`repro.backend.get_backend`.
+        chunk_steps: timesteps per streamed chunk; ``None`` for the
+            adaptive default (see :func:`resolve_chunk_steps`).
     """
     from repro.lb.simulation import SimulationResult
 
+    kernels = backend if isinstance(backend, ArrayBackend) else get_backend(backend)
     num_servers = policy.num_servers
     num_balancers = policy.num_balancers
+    chunk = resolve_chunk_steps(chunk_steps, timesteps, num_balancers, num_servers)
 
-    task_bits = np.asarray(workload.draw_batch(workload_rng, timesteps))
-    if task_bits.shape != (timesteps, num_balancers):
-        raise ConfigurationError(
-            f"workload batch shape {task_bits.shape} != "
-            f"({timesteps}, {num_balancers})"
-        )
-    choices = np.asarray(policy.assign_batch(task_bits, policy_rng))
-    if choices.shape != task_bits.shape:
-        raise ConfigurationError(
-            f"policy batch shape {choices.shape} != {task_bits.shape}"
-        )
-    if ((choices < 0) | (choices >= num_servers)).any():
-        bad = choices[(choices < 0) | (choices >= num_servers)].ravel()[0]
-        raise ConfigurationError(f"policy chose invalid server {int(bad)}")
-
-    # Pre-aggregate per-step, per-server arrival counts by type: one
-    # bincount per type over (step, server) cells for the whole run.
-    step_index = np.repeat(np.arange(timesteps), num_balancers)
-    cell = step_index * num_servers + choices.ravel()
-    is_c = task_bits.ravel() != 0
-    arrivals_c = np.bincount(
-        cell[is_c], minlength=timesteps * num_servers
-    ).reshape(timesteps, num_servers)
-    arrivals_e = np.bincount(
-        cell[~is_c], minlength=timesteps * num_servers
-    ).reshape(timesteps, num_servers)
-
-    # Array server model: queued-task counts per (server, arrival step)
-    # and per type, with heads tracking each server's earliest queued
-    # arrival step (FIFO within type).
-    counts_c = np.zeros((num_servers, timesteps), dtype=np.int32)
-    counts_e = np.zeros((num_servers, timesteps), dtype=np.int32)
+    # Windowed server model state: column j of counts_* is arrival step
+    # base + j; heads are absolute arrival steps (FIFO within type).
+    counts_c = np.zeros((num_servers, chunk), dtype=np.int32)
+    counts_e = np.zeros((num_servers, chunk), dtype=np.int32)
     head_c = np.zeros(num_servers, dtype=np.int64)
     head_e = np.zeros(num_servers, dtype=np.int64)
     queued_c = np.zeros(num_servers, dtype=np.int64)
     queued_e = np.zeros(num_servers, dtype=np.int64)
+    base = 0
 
     total_queued = 0
     queue_length_sum = 0.0
     wait_sum = 0
     served = 0
-    wait_count = 0
     arrived = 0
     measured_steps = 0
+    executed = 0
+    chunks = 0
+    peak_window_bytes = counts_c.nbytes + counts_e.nbytes
     serve_two_c = discipline == "paper"
+    stopped = False
+    clock_start = time.perf_counter()
 
-    for step in range(timesteps):
-        step_c = arrivals_c[step]
-        step_e = arrivals_e[step]
-        # Fast-forward empty servers' heads to this step before the new
-        # arrivals land, so heads never rescan long-gone history.
-        head_c[queued_c == 0] = step
-        head_e[queued_e == 0] = step
-        counts_c[:, step] = step_c
-        counts_e[:, step] = step_e
-        queued_c += step_c
-        queued_e += step_e
+    while executed < timesteps and not stopped:
+        start = executed
+        end = min(start + chunk, timesteps)
+        steps = end - start
+        with span("engine.chunk", start=start, steps=steps) as chunk_span:
+            task_bits = np.asarray(workload.draw_batch(workload_rng, steps))
+            if task_bits.shape != (steps, num_balancers):
+                raise ConfigurationError(
+                    f"workload batch shape {task_bits.shape} != "
+                    f"({steps}, {num_balancers})"
+                )
+            choices = np.asarray(policy.assign_batch(task_bits, policy_rng))
+            if choices.shape != task_bits.shape:
+                raise ConfigurationError(
+                    f"policy batch shape {choices.shape} != {task_bits.shape}"
+                )
+            if ((choices < 0) | (choices >= num_servers)).any():
+                bad = choices[(choices < 0) | (choices >= num_servers)]
+                raise ConfigurationError(
+                    f"policy chose invalid server {int(bad.ravel()[0])}"
+                )
 
-        have_c = queued_c > 0
-        step_served, step_wait = _pop_earliest(
-            counts_c, head_c, queued_c, have_c, step
-        )
-        if serve_two_c:
-            second = have_c & (queued_c > 0)
-            extra_served, extra_wait = _pop_earliest(
-                counts_c, head_c, queued_c, second, step
+            # Per-step, per-server arrival counts by type: one bincount
+            # per type over the chunk's (step, server) cells.
+            step_index = np.repeat(np.arange(steps), num_balancers)
+            cell = step_index * num_servers + choices.ravel()
+            is_c = task_bits.ravel() != 0
+            arrivals_c = np.bincount(
+                cell[is_c], minlength=steps * num_servers
+            ).reshape(steps, num_servers).astype(np.int32)
+            arrivals_e = np.bincount(
+                cell[~is_c], minlength=steps * num_servers
+            ).reshape(steps, num_servers).astype(np.int32)
+
+            counts_c, counts_e, base = _compact_and_fit(
+                counts_c, counts_e, head_c, head_e, queued_c, queued_e,
+                base, start, end,
             )
-            step_served += extra_served
-            step_wait += extra_wait
-        only_e = ~have_c & (queued_e > 0)
-        e_served, e_wait = _pop_earliest(
-            counts_e, head_e, queued_e, only_e, step
-        )
-        step_served += e_served
-        step_wait += e_wait
+            window_bytes = counts_c.nbytes + counts_e.nbytes
+            peak_window_bytes = max(peak_window_bytes, window_bytes)
 
-        total_queued += num_balancers - step_served
-        if step >= warmup:
-            arrived += num_balancers
-            served += step_served
-            wait_sum += step_wait
-            wait_count += step_served
-            queue_length_sum += total_queued / num_servers
-            measured_steps += 1
-        if total_queued > max_total_queue:
-            break
+            (steps_done, total_queued, chunk_served, chunk_arrived,
+             chunk_wait, queue_length_sum, chunk_measured, stopped) = (
+                kernels.serve_chunk(
+                    arrivals_c, arrivals_e,
+                    counts_c, counts_e,
+                    head_c, head_e,
+                    queued_c, queued_e,
+                    base, start, num_balancers, warmup,
+                    serve_two_c, max_total_queue, total_queued,
+                    queue_length_sum,
+                )
+            )
+            executed += steps_done
+            served += chunk_served
+            arrived += chunk_arrived
+            wait_sum += chunk_wait
+            measured_steps += chunk_measured
+            chunks += 1
+            chunk_span.attributes["executed"] = steps_done
+            chunk_span.attributes["window_bytes"] = window_bytes
+    wall = time.perf_counter() - clock_start
 
-    # Degraded policies drew liveness for all timesteps up front; tell
-    # them how many steps actually executed so their reports match the
-    # sequential path when max_total_queue stops a run early.
+    # Degraded policies drew liveness for the chunked steps up front;
+    # tell them how many steps actually executed so their reports match
+    # the sequential path when max_total_queue stops a run early.
     if hasattr(policy, "note_executed_steps"):
-        policy.note_executed_steps(step + 1)
+        policy.note_executed_steps(executed)
 
     registry = get_registry()
     if registry.enabled:
         registry.counter("engine.vectorized.batches").inc()
-        registry.counter("engine.vectorized.steps").inc(step + 1)
-        if step + 1 < timesteps:
+        registry.counter("engine.vectorized.chunks").inc(chunks)
+        registry.counter("engine.vectorized.steps").inc(executed)
+        if executed < timesteps:
             registry.counter("engine.vectorized.early_stops").inc()
+        registry.gauge("engine.window_bytes").set(float(peak_window_bytes))
+        if wall > 0.0:
+            registry.gauge("engine.steps_per_sec").set(executed / wall)
 
     mean_queue = queue_length_sum / max(1, measured_steps)
-    mean_wait = wait_sum / wait_count if wait_count else 0.0
+    mean_wait = wait_sum / served if served else 0.0
     return SimulationResult(
         mean_queue_length=mean_queue,
         mean_queueing_delay=mean_wait,

@@ -392,14 +392,18 @@ class GamePairedAssignment(AssignmentPolicy):
                 raise StrategyError(
                     "task inputs outside the strategy's alphabet"
                 )
+            from repro.backend import get_backend
+
             s0, s1 = self._server_pair_batch(steps, num_pairs, rng)
-            # Born-rule outcomes: one searchsorted over the flat
+            # Born-rule outcomes: one right-bisect over the flat
             # per-block cumulative table (see __init__), matching the
-            # sequential path's per-pair searchsorted exactly.
+            # sequential path's per-pair searchsorted exactly. The
+            # lookup kernel comes from the active array backend; every
+            # backend returns the same integers.
             block = x * ny + y
             uniform = rng.random((steps, num_pairs))
-            position = np.searchsorted(
-                self._flat_cumulative, block + uniform, side="right"
+            position = get_backend().searchsorted_right(
+                self._flat_cumulative, block + uniform
             )
             outcome = np.minimum(position - 4 * block, 3)
             out_a = outcome >> 1

@@ -60,6 +60,8 @@ def _run_load_point(config, seed: int) -> SimulationResult:
         discipline=config["discipline"],
         p_colocate=config["p_colocate"],
         engine=config.get("engine", "auto"),
+        backend=config.get("backend"),
+        chunk_steps=config.get("chunk_steps"),
     )
 
 
@@ -77,6 +79,8 @@ def sweep_load_detailed(
     cache_dir=None,
     progress=None,
     engine: str = "auto",
+    backend: str | None = None,
+    chunk_steps: int | None = None,
     policy_kwargs: dict | None = None,
 ) -> tuple[list[LoadSweepPoint], RunReport]:
     """Like :func:`sweep_load`, also returning the execution report."""
@@ -116,6 +120,13 @@ def sweep_load_detailed(
         "p_colocate": p_colocate,
         "engine": engine,
     }
+    # Only placed in the config (hence the cache fingerprint) when set:
+    # the runner's key already embeds the *resolved* backend name, so
+    # default-resolution runs keep compact configs.
+    if backend is not None:
+        base_config["backend"] = backend
+    if chunk_steps is not None:
+        base_config["chunk_steps"] = chunk_steps
     if policy_kwargs:
         # Part of the config dict, hence of the cache fingerprint: two
         # sweeps of the same factory at different fault settings never
@@ -153,6 +164,8 @@ def sweep_load(
     cache_dir=None,
     progress=None,
     engine: str = "auto",
+    backend: str | None = None,
+    chunk_steps: int | None = None,
     policy_kwargs: dict | None = None,
 ) -> list[LoadSweepPoint]:
     """Run the Fig 4 experiment across a load (``N/M``) sweep.
@@ -179,6 +192,8 @@ def sweep_load(
         cache_dir=cache_dir,
         progress=progress,
         engine=engine,
+        backend=backend,
+        chunk_steps=chunk_steps,
         policy_kwargs=policy_kwargs,
     )
     return points

@@ -24,11 +24,13 @@ advantage/no-advantage calls.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs import metrics as _metrics
 from repro.sdp.projections import project_psd, symmetrize
 from repro.sdp.result import SDPResult
 
@@ -102,6 +104,7 @@ def solve_diagonal_sdp(
             break
 
     converged = primal_res < tolerance and dual_res < tolerance
+    _metrics.get_registry().counter("admm.iterations").inc(iteration)
     feasible = _repair_feasible(z, diagonal)
     objective = float(np.sum(c * feasible))
     upper = _dual_upper_bound(c, feasible, diagonal)
@@ -151,6 +154,23 @@ def solve_sdp(
     a_mat = np.stack(rows)
     b_vec = np.asarray(rhs)
     gram = a_mat @ a_mat.T
+    rank = int(np.linalg.matrix_rank(gram))
+    if rank < gram.shape[0]:
+        # Linearly dependent constraints: the pseudo-inverse silently
+        # switches the affine step to a least-squares projection. That
+        # is the right continuation when the dependent rows are
+        # *consistent*, but contradictory rows get averaged away — so
+        # make the degeneracy visible instead of swallowing it.
+        _metrics.get_registry().counter("sdp.gram_rank_deficient").inc()
+        warnings.warn(
+            f"solve_sdp constraint Gram matrix is rank-deficient "
+            f"(rank {rank} < {gram.shape[0]}): constraints are linearly "
+            "dependent; the affine projection falls back to the "
+            "least-squares pseudo-inverse and contradictory constraints "
+            "would be silently averaged",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     try:
         gram_inv = np.linalg.pinv(gram)
     except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
@@ -176,6 +196,7 @@ def solve_sdp(
             break
 
     converged = primal_res < tolerance and dual_res < tolerance
+    _metrics.get_registry().counter("admm.iterations").inc(iteration)
     # Blend to the PSD iterate and report residual-feasibility; callers of
     # the general form accept approximate feasibility (documented).
     objective = float(np.sum(c * z))

@@ -37,8 +37,10 @@ __all__ = [
 ]
 
 
-def _frobenius_batch(matrices: np.ndarray) -> np.ndarray:
+def _frobenius_batch(matrices: np.ndarray, backend=None) -> np.ndarray:
     """Frobenius norm of every matrix in a ``(B, n, n)`` stack."""
+    if backend is not None:
+        return backend.frobenius_batch(matrices)
     return np.sqrt(np.einsum("bij,bij->b", matrices, matrices))
 
 
@@ -55,14 +57,16 @@ def _check_diagonal(diagonal, n: int) -> np.ndarray:
     return diagonal
 
 
-def repair_feasible_batch(z: np.ndarray, diagonal: np.ndarray) -> np.ndarray:
+def repair_feasible_batch(
+    z: np.ndarray, diagonal: np.ndarray, *, backend=None
+) -> np.ndarray:
     """Batched feasibility repair: PSD with the exact required diagonal.
 
     The stacked sibling of the serial solver's repair: PSD-project, then
     rescale every slice by ``D^-1/2 Z D^-1/2`` (congruence preserves
     PSD-ness) so each slice's objective is a genuine lower bound.
     """
-    psd = project_psd_batch(z)
+    psd = project_psd_batch(z, backend=backend)
     n = psd.shape[-1]
     rows = np.arange(n)
     current = psd[:, rows, rows].clip(min=1e-12)
@@ -115,6 +119,7 @@ def solve_diagonal_sdp_batch(
     tolerance: float = 1e-8,
     max_iterations: int = 50_000,
     warm_starts: np.ndarray | None = None,
+    backend: str | None = None,
 ) -> list[SDPResult]:
     """Solve ``max <C_b, X_b> s.t. diag(X_b) = d, X_b PSD`` for a stack.
 
@@ -128,6 +133,10 @@ def solve_diagonal_sdp_batch(
             are returned with ``converged=False``.
         warm_starts: optional ``(B, n, n)`` stack of initial ``Z``
             iterates (e.g. Gram matrices from a heuristic solver).
+        backend: array-kernel backend for the PSD projections and
+            residual norms — an :class:`~repro.backend.ArrayBackend`, a
+            registry name, or ``None`` for environment/auto resolution
+            (see :mod:`repro.backend`).
 
     Returns:
         One :class:`SDPResult` per slice, in input order, each with a
@@ -141,9 +150,12 @@ def solve_diagonal_sdp_batch(
         raise SolverError(
             f"costs must be a (B, n, n) stack, got shape {costs.shape}"
         )
+    from repro.backend import ArrayBackend, get_backend
+
     num_games, n = costs.shape[0], costs.shape[1]
     if num_games == 0:
         return []
+    kernels = backend if isinstance(backend, ArrayBackend) else get_backend(backend)
     c = symmetrize_batch(costs)
     diagonal = _check_diagonal(diagonal, n)
 
@@ -179,10 +191,10 @@ def solve_diagonal_sdp_batch(
         x = z - u + c_active / rho
         x[:, rows, rows] = diagonal
         z_prev = z
-        z = project_psd_batch(x + u)
+        z = project_psd_batch(x + u, backend=kernels)
         u = u + x - z
-        primal = _frobenius_batch(x - z)
-        dual = rho * _frobenius_batch(z - z_prev)
+        primal = _frobenius_batch(x - z, kernels)
+        dual = rho * _frobenius_batch(z - z_prev, kernels)
         done = (primal < tolerance) & (dual < tolerance)
         if done.any():
             finished = active[done]
@@ -209,8 +221,9 @@ def solve_diagonal_sdp_batch(
     registry.counter("sdp.batch.solves").inc()
     registry.counter("sdp.batch.games").inc(num_games)
     registry.counter("sdp.batch.iterations").inc(total_iterations)
+    registry.counter("admm.iterations").inc(total_iterations)
 
-    feasible = repair_feasible_batch(final_z, diagonal)
+    feasible = repair_feasible_batch(final_z, diagonal, backend=kernels)
     objectives = np.einsum("bij,bij->b", c, feasible)
     uppers = dual_upper_bound_batch(c, feasible, diagonal)
     return [

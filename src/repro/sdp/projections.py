@@ -33,20 +33,27 @@ def symmetrize_batch(matrices: np.ndarray) -> np.ndarray:
     return (matrices + np.swapaxes(matrices, -1, -2)) / 2.0
 
 
-def project_psd_batch(matrices: np.ndarray) -> np.ndarray:
+def project_psd_batch(matrices: np.ndarray, *, backend=None) -> np.ndarray:
     """PSD-project every matrix of a ``(B, n, n)`` stack at once.
 
-    One stacked :func:`numpy.linalg.eigh` call decomposes all slices;
-    each slice's projection equals :func:`project_psd` of that slice.
+    Dispatched through the active array backend (see
+    :mod:`repro.backend`): the NumPy kernel runs one stacked
+    :func:`numpy.linalg.eigh` call, the numba kernel a compiled
+    per-slice loop. Each slice's projection equals :func:`project_psd`
+    of that slice to LAPACK tolerance.
+
+    Args:
+        backend: an :class:`~repro.backend.ArrayBackend`, a registry
+            name, or ``None`` for environment/auto resolution.
     """
+    from repro.backend import ArrayBackend, get_backend
+
     if matrices.ndim != 3 or matrices.shape[-1] != matrices.shape[-2]:
         raise SolverError(
             f"cannot batch-PSD-project shape {matrices.shape}"
         )
-    sym = symmetrize_batch(matrices)
-    eigs, vecs = np.linalg.eigh(sym)
-    clipped = eigs.clip(min=0.0)
-    return (vecs * clipped[..., None, :]) @ np.swapaxes(vecs, -1, -2)
+    kernels = backend if isinstance(backend, ArrayBackend) else get_backend(backend)
+    return kernels.project_psd_batch(matrices)
 
 
 def project_psd(matrix: np.ndarray) -> np.ndarray:

@@ -1,0 +1,153 @@
+"""Backend registry: resolution order, fallback, and extension points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    AUTO_ORDER,
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    numba_available,
+    register_backend,
+    registered_backends,
+    resolve_backend_name,
+)
+from repro.errors import ConfigurationError
+
+
+def test_numpy_always_registered_and_available():
+    assert "numpy" in registered_backends()
+    assert "numpy" in available_backends()
+
+
+def test_numba_registered_even_when_absent():
+    # The registry always knows the name; availability gates selection.
+    assert "numba" in registered_backends()
+
+
+def test_auto_prefers_first_available(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    expected = "numba" if numba_available() else "numpy"
+    assert AUTO_ORDER[0] == "numba"
+    assert resolve_backend_name() == expected
+    assert resolve_backend_name("auto") == expected
+
+
+def test_explicit_name_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "nonsense")
+    assert resolve_backend_name("numpy") == "numpy"
+
+
+def test_environment_variable_resolves(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend_name() == "numpy"
+    backend = get_backend()
+    assert isinstance(backend, ArrayBackend)
+    assert backend.name == "numpy"
+
+
+def test_unknown_name_raises(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        resolve_backend_name("cuda-imaginary")
+
+
+def test_unknown_env_value_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "cuda-imaginary")
+    with pytest.raises(ConfigurationError, match="unknown backend"):
+        resolve_backend_name()
+
+
+def test_unavailable_backend_warns_and_falls_back_to_numpy():
+    name = "flakytest"
+    register_backend(
+        name,
+        lambda: (_ for _ in ()).throw(AssertionError("must not be built")),
+        available=lambda: False,
+    )
+    try:
+        with pytest.warns(RuntimeWarning, match="not available"):
+            assert resolve_backend_name(name) == "numpy"
+        with pytest.warns(RuntimeWarning):
+            assert get_backend(name).name == "numpy"
+    finally:
+        import repro.backend as backend_mod
+
+        backend_mod._REGISTRY.pop(name, None)
+        backend_mod._INSTANCES.pop(name, None)
+
+
+def test_numba_request_on_host_without_numba():
+    if numba_available():
+        pytest.skip("numba importable here; fallback path not reachable")
+    with pytest.warns(RuntimeWarning, match="falling back to 'numpy'"):
+        assert resolve_backend_name("numba") == "numpy"
+
+
+def test_register_backend_rejects_bad_names():
+    with pytest.raises(ConfigurationError):
+        register_backend("", lambda: None)
+    with pytest.raises(ConfigurationError):
+        register_backend("NumPy", lambda: None)
+
+
+def test_third_party_registration_round_trip():
+    reference = get_backend("numpy")
+    custom = ArrayBackend(
+        name="custom",
+        serve_chunk=reference.serve_chunk,
+        searchsorted_right=reference.searchsorted_right,
+        project_psd_batch=reference.project_psd_batch,
+        frobenius_batch=reference.frobenius_batch,
+    )
+    register_backend("custom", lambda: custom)
+    try:
+        assert "custom" in available_backends()
+        assert get_backend("custom") is custom
+    finally:
+        import repro.backend as backend_mod
+
+        backend_mod._REGISTRY.pop("custom", None)
+        backend_mod._INSTANCES.pop("custom", None)
+
+
+def test_instances_are_cached():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_simulation_records_resolved_backend(monkeypatch):
+    from repro.lb.policies import RandomAssignment
+    from repro.lb.simulation import run_timestep_simulation
+
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    result = run_timestep_simulation(
+        RandomAssignment(8, 4), timesteps=40, seed=0, engine="vectorized"
+    )
+    assert result.manifest.backend in registered_backends()
+    reference = run_timestep_simulation(
+        RandomAssignment(8, 4), timesteps=40, seed=0, engine="reference"
+    )
+    assert reference.manifest.backend is None
+
+
+def test_cache_key_embeds_backend():
+    from repro.exec.cache import cache_key
+
+    config = {"timesteps": 10}
+    assert cache_key(config, 0, backend="numpy") != cache_key(
+        config, 0, backend="numba"
+    )
+    # Default backend token is numpy, the reference kernels.
+    assert cache_key(config, 0) == cache_key(config, 0, backend="numpy")
+
+
+def test_searchsorted_numpy_kernel_matches_numpy():
+    rng = np.random.default_rng(0)
+    table = np.sort(rng.random(64))
+    values = rng.random((17, 5)) * 1.2 - 0.1
+    got = get_backend("numpy").searchsorted_right(table, values)
+    expected = np.searchsorted(table, values, side="right")
+    assert np.array_equal(got, expected)

@@ -304,3 +304,110 @@ class TestBatchedPolicies:
         bad = np.full((3, 4), 7, dtype=np.int64)
         with pytest.raises(StrategyError):
             policy.assign_batch(bad, np.random.default_rng(0))
+
+
+class TestChunkedStreaming:
+    """The streaming engine: chunk-size invariance, early stops across
+    chunk boundaries, and the bounded sliding window."""
+
+    @pytest.mark.parametrize("policy_factory", EXACT_POLICIES)
+    @pytest.mark.parametrize("discipline", VEC_DISCIPLINES)
+    @pytest.mark.parametrize("chunk_steps", [1, 7, 64])
+    def test_chunk_size_is_bit_invisible(
+        self, policy_factory, discipline, chunk_steps
+    ):
+        """Exact policies are bit-identical to the reference engine for
+        *any* chunk size — chunking must not perturb a single value."""
+        reference, vectorized = run_pair(
+            policy_factory, timesteps=300, seed=4, discipline=discipline,
+            chunk_steps=chunk_steps,
+        )
+        assert reference == vectorized
+
+    def test_overload_keeps_old_arrivals_alive_across_chunks(self):
+        """Under load > 1 queues age past many chunk boundaries; the
+        window must keep those columns addressable until served."""
+        reference, vectorized = run_pair(
+            RandomAssignment, n=30, m=20, timesteps=600, seed=9,
+            p_colocate=0.3, chunk_steps=5,
+        )
+        assert reference == vectorized
+
+    @pytest.mark.parametrize("chunk_steps", [3, 50, None])
+    def test_early_stop_across_chunk_boundaries(self, chunk_steps):
+        reference, vectorized = run_pair(
+            RandomAssignment, n=60, m=4, timesteps=3000, seed=5,
+            max_total_queue=400.0, chunk_steps=chunk_steps,
+        )
+        assert reference == vectorized
+        assert vectorized.timesteps < 2400
+
+    def test_chunk_counters_and_window_gauge(self):
+        from repro.obs.metrics import capture
+
+        with capture() as registry:
+            run_timestep_simulation(
+                RandomAssignment(20, 16), timesteps=500, seed=1,
+                engine="vectorized", chunk_steps=50,
+            )
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["engine.vectorized.chunks"] == 10
+        assert snapshot["counters"]["engine.vectorized.steps"] == 500
+        # The sliding window stays far below full materialization:
+        # the pre-chunking engine held M x timesteps cells per type.
+        window_bytes = snapshot["gauges"]["engine.window_bytes"]
+        full_bytes = 2 * 16 * 500 * np.dtype(np.int32).itemsize
+        assert 0 < window_bytes < full_bytes / 2
+        assert snapshot["gauges"]["engine.steps_per_sec"] > 0
+
+    def test_single_chunk_matches_chunked(self):
+        """The default chunk (one chunk at this scale) and a tiny
+        chunk agree bit-for-bit: the running float accumulators are
+        threaded through the kernel so the addition order matches a
+        monolithic run."""
+        single = run_timestep_simulation(
+            RandomAssignment(24, 12), timesteps=400, seed=7,
+            engine="vectorized",
+        )
+        tiny = run_timestep_simulation(
+            RandomAssignment(24, 12), timesteps=400, seed=7,
+            engine="vectorized", chunk_steps=11,
+        )
+        assert single == tiny
+
+
+class TestResolveChunkSteps:
+    def test_explicit_value_honored(self):
+        from repro.lb.engine import resolve_chunk_steps
+
+        assert resolve_chunk_steps(17, 1000, 10, 10) == 17
+        # ... but never beyond the run length.
+        assert resolve_chunk_steps(5000, 1000, 10, 10) == 1000
+
+    def test_explicit_value_validated(self):
+        from repro.lb.engine import resolve_chunk_steps
+
+        with pytest.raises(ConfigurationError, match="chunk_steps"):
+            resolve_chunk_steps(0, 100, 10, 10)
+
+    def test_default_is_single_chunk_at_paper_scale(self):
+        from repro.lb.engine import DEFAULT_CHUNK_STEPS, resolve_chunk_steps
+
+        assert resolve_chunk_steps(None, 2000, 100, 100) == 2000
+        assert (
+            resolve_chunk_steps(None, 1_000_000, 100, 100)
+            == DEFAULT_CHUNK_STEPS
+        )
+
+    def test_default_shrinks_for_wide_systems(self):
+        from repro.lb.engine import (
+            CHUNK_CELL_BUDGET,
+            DEFAULT_CHUNK_STEPS,
+            resolve_chunk_steps,
+        )
+
+        width = 4 * CHUNK_CELL_BUDGET // DEFAULT_CHUNK_STEPS
+        resolved = resolve_chunk_steps(None, 1_000_000, width, 10)
+        assert resolved == CHUNK_CELL_BUDGET // width
+        assert resolved < DEFAULT_CHUNK_STEPS
+        assert resolved >= 1

@@ -170,6 +170,32 @@ class TestGeneralSDP:
         with pytest.raises(SolverError):
             solve_sdp(np.eye(2), [(np.eye(3), 1.0)])
 
+    def test_degenerate_constraints_warn_and_count(self):
+        """Linearly dependent constraints make the Gram matrix rank
+        deficient; the affine step then runs through a least-squares
+        pseudo-inverse. That fallback must be loud: a RuntimeWarning and
+        the ``sdp.gram_rank_deficient`` counter, never silence."""
+        from repro.obs.metrics import capture
+
+        constraints = [(np.eye(3), 2.0), (np.eye(3), 2.0)]  # duplicated
+        with capture() as registry:
+            with pytest.warns(RuntimeWarning, match="rank-deficient"):
+                res = solve_sdp(np.eye(3), constraints)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["sdp.gram_rank_deficient"] == 1
+        # Consistent duplicates: the least-squares continuation still
+        # solves the underlying problem (max Tr X s.t. Tr X = 2).
+        assert res.objective == pytest.approx(2.0, abs=1e-5)
+
+    def test_independent_constraints_stay_silent(self):
+        import warnings
+
+        constraints = [(np.eye(2), 1.0), (np.diag([1.0, -1.0]), 0.0)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            res = solve_sdp(np.eye(2), constraints)
+        assert res.objective == pytest.approx(1.0, abs=1e-6)
+
 
 class TestGramVectors:
     def test_reconstruction(self):
