@@ -66,6 +66,10 @@ SCALE_LADDER = {
         "stream_timesteps": 2_000,
         "fig3_sizes": (6,),
         "fig3_games": 60,
+        "group_balancers": 48,
+        "group_timesteps": 400,
+        "group_sizes": (3,),
+        "group_loads": (0.9, 1.2, 1.5),
     },
     "paper": {
         "stream_balancers": 10_000,
@@ -73,6 +77,10 @@ SCALE_LADDER = {
         "stream_timesteps": 20_000,
         "fig3_sizes": (6, 7, 8),
         "fig3_games": 420,
+        "group_balancers": 240,
+        "group_timesteps": 2_000,
+        "group_sizes": (3, 4),
+        "group_loads": (0.8, 1.0, 1.2, 1.5),
     },
     "production": {
         "stream_balancers": 10_000,
@@ -80,6 +88,10 @@ SCALE_LADDER = {
         "stream_timesteps": 1_000_000,
         "fig3_sizes": (6, 7, 8),
         "fig3_games": 420,
+        "group_balancers": 960,
+        "group_timesteps": 10_000,
+        "group_sizes": (3, 4, 5),
+        "group_loads": (0.8, 1.0, 1.2, 1.5),
     },
 }
 

@@ -210,6 +210,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mermin.add_argument("--max-players", type=int, default=5)
 
+    groups = sub.add_parser(
+        "groups",
+        help="Fig 4 with k-party balancer groups: GHZ vs Bell pairs vs "
+        "classical groups (§4.2 probe)",
+        parents=[telemetry],
+    )
+    groups.add_argument("--balancers", type=int, default=96,
+                        help="fleet size (pick a multiple of the group "
+                        "size; leftovers route uniformly)")
+    groups.add_argument("--steps", type=int, default=600)
+    groups.add_argument("--loads", type=float, nargs="+",
+                        default=[0.75, 1.0, 1.25, 1.5])
+    groups.add_argument("--group-size", type=int, default=4,
+                        help="balancers per entangled group (default 4)")
+    groups.add_argument("--seed", type=int, default=0)
+    groups.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: "
+                        "REPRO_JOBS, then CPU count; results are "
+                        "bit-identical to a serial run)")
+    groups.add_argument("--engine", choices=("auto", "reference", "vectorized"),
+                        default="auto",
+                        help="simulation engine (see docs/reproducing.md)")
+
     calibrate = sub.add_parser(
         "calibrate",
         help="finite-sample CHSH calibration of a Werner state",
@@ -572,6 +595,66 @@ def _cmd_mermin(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_groups(args: argparse.Namespace) -> None:
+    from repro.analysis import FigureData, format_figure, format_table
+    from repro.lb import (
+        CHSHPairedAssignment,
+        ClassicalGroupAssignment,
+        GHZGroupAssignment,
+        RandomAssignment,
+        knee_load,
+        sweep_load,
+    )
+
+    k = args.group_size
+    if k < 2:
+        raise SystemExit("--group-size must be at least 2")
+    runs: list[tuple[str, object, dict | None]] = [
+        ("classical random", RandomAssignment, None),
+        ("quantum CHSH pairs", CHSHPairedAssignment, None),
+        (f"GHZ groups (k={k})", GHZGroupAssignment, {"group_size": k}),
+        (
+            f"classical groups (k={k})",
+            ClassicalGroupAssignment,
+            {"group_size": k},
+        ),
+    ]
+    figure = FigureData(
+        title=f"Group policies: N={args.balancers}, k={k}, "
+        f"{args.steps} steps",
+        x_label="load N/M",
+        y_label="mean queue length",
+    )
+    knee_rows = []
+    for name, factory, policy_kwargs in runs:
+        points = sweep_load(
+            factory,
+            num_balancers=args.balancers,
+            loads=args.loads,
+            timesteps=args.steps,
+            seed=args.seed,
+            jobs=args.jobs,
+            engine=args.engine,
+            policy_kwargs=policy_kwargs,
+        )
+        figure.add(
+            name,
+            [p.load for p in points],
+            [p.result.mean_queue_length for p in points],
+        )
+        knee_rows.append([name, knee_load(points)])
+    print(format_figure(figure))
+    print()
+    print(
+        format_table(
+            ["policy", "knee load"],
+            knee_rows,
+            title="Knee loads (first load with mean queue >= 5)",
+            float_format="{:.4f}",
+        )
+    )
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
     from repro.hardware import estimate_chsh
@@ -620,6 +703,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         _cmd_regime(args)
     elif args.command == "mermin":
         _cmd_mermin(args)
+    elif args.command == "groups":
+        _cmd_groups(args)
     elif args.command == "calibrate":
         _cmd_calibrate(args)
     else:  # pragma: no cover - argparse enforces the choices

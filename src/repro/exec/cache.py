@@ -53,7 +53,11 @@ __all__ = [
 #: now embed the resolved backend name, the paired-policy per-seed
 #: values changed for multi-chunk runs, and the ``n >= 6`` Fig 3 screen
 #: budget changed; pre-backend entries must not replay.
-CACHE_VERSION = 5
+#: v6: beyond-XOR games refactor — the game layer gained the
+#: ``(prob_mat, pred_mat)`` representation and k-party group policies;
+#: cached results referencing pre-refactor classes must not replay
+#: (and can no longer unpickle — see :meth:`ResultCache.get`).
+CACHE_VERSION = 6
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
@@ -212,11 +216,31 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> tuple[bool, object]:
-        """Return ``(hit, value)``; corrupt or missing entries miss."""
+        """Return ``(hit, value)``; corrupt or missing entries miss.
+
+        "Unreadable" covers more than torn bytes: a stale entry whose
+        pickle references a class that has since been renamed, moved, or
+        deleted raises ``ImportError``/``AttributeError`` from the
+        unpickler, and torn protocol frames can surface as
+        ``IndexError``/``ValueError``. All of these are clean misses —
+        counted under ``cache.stale`` (entry present but unloadable) so
+        refactor fallout is visible next to plain ``cache.miss``.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            ValueError,
+        ):
+            if path.exists():
+                get_registry().counter("cache.stale").inc()
             get_registry().counter("cache.miss").inc()
             return False, None
         get_registry().counter("cache.hit").inc()

@@ -56,6 +56,18 @@ from repro.games.multiplayer import (
     mermin_game,
     mermin_optimal_strategy,
 )
+from repro.games.nonlocal_games import (
+    FFL_CLASSICAL_VALUE,
+    MAGIC_SQUARE_CLASSICAL_VALUE,
+    MultipartyNonlocalGame,
+    NonlocalGame,
+    chsh_nonlocal_game,
+    ffl_game,
+    magic_square_game,
+    magic_square_optimal_strategy,
+    multi_class_colocation_game,
+    multiplayer_behavior,
+)
 from repro.games.npa import npa1_cost, npa1_upper_bound
 from repro.games.products import xor_power, xor_product
 from repro.games.quantum_value import (
@@ -124,6 +136,16 @@ __all__ = [
     "mermin_classical_value",
     "mermin_game",
     "mermin_optimal_strategy",
+    "FFL_CLASSICAL_VALUE",
+    "MAGIC_SQUARE_CLASSICAL_VALUE",
+    "MultipartyNonlocalGame",
+    "NonlocalGame",
+    "chsh_nonlocal_game",
+    "ffl_game",
+    "magic_square_game",
+    "magic_square_optimal_strategy",
+    "multi_class_colocation_game",
+    "multiplayer_behavior",
     "npa1_cost",
     "npa1_upper_bound",
     "xor_power",

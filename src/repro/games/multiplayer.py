@@ -105,6 +105,18 @@ class MultiplayerXORGame:
             best = max(best, value)
         return best
 
+    def to_nonlocal_game(self):
+        """View as a dense
+        :class:`~repro.games.nonlocal_games.MultipartyNonlocalGame`.
+
+        The dense form's brute-force ``classical_value`` agrees with
+        :meth:`classical_value` exactly — the differential check the
+        test suite runs for the Mermin family.
+        """
+        from repro.games.nonlocal_games import MultipartyNonlocalGame
+
+        return MultipartyNonlocalGame.from_xor_game(self)
+
     def quantum_value_of_strategy(
         self, strategy: "MultiplayerQuantumStrategy"
     ) -> float:
@@ -171,7 +183,29 @@ class MultiplayerQuantumStrategy:
                 op = op @ projector_sets[player][bit]
             out[outcome] = float(np.real(np.trace(mat @ op)))
         out = out.clip(min=0.0)
-        return out / out.sum()
+        total = float(out.sum())
+        if abs(total - 1.0) > 1e-8:
+            raise StrategyError(
+                f"joint distribution sums to {total!r}, not 1: the "
+                "measurement projectors are not complete for this state"
+            )
+        return out / total
+
+    def behavior(self, alphabets: Sequence[int] | None = None) -> np.ndarray:
+        """Dense behavior tensor over integer inputs ``0..n_p - 1``.
+
+        ``alphabets`` gives each player's input alphabet size (default:
+        inferred as ``max(symbol) + 1`` from the basis tables, which
+        therefore must be keyed by contiguous non-negative integers).
+        The result has shape ``tuple(alphabets) + (2,) * k`` — inputs
+        first, then one binary output axis per player — the layout
+        :func:`repro.lb.policies.behavior_sampling_tables` consumes.
+        """
+        from repro.games.nonlocal_games import multiplayer_behavior
+
+        if alphabets is None:
+            alphabets = [max(table) + 1 for table in self._bases]
+        return multiplayer_behavior(self, alphabets)
 
     def parity_probability(self, inputs: Sequence[int], target: int) -> float:
         """Probability that the players' output XOR equals ``target``."""

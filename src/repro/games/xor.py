@@ -170,6 +170,18 @@ class XORGame:
             predicate=lambda x, y, a, b: (a ^ b) == int(targets[x, y]),
         )
 
+    def to_nonlocal_game(self):
+        """View as a :class:`~repro.games.nonlocal_games.NonlocalGame`.
+
+        The round trip ``game.to_nonlocal_game().as_xor_game()``
+        recovers an equivalent XOR game; the general representation's
+        ``classical_value`` delegates back to the vectorized XOR search
+        for such games.
+        """
+        from repro.games.nonlocal_games import NonlocalGame
+
+        return NonlocalGame.from_xor_game(self)
+
     @classmethod
     def chsh(cls) -> "XORGame":
         """CHSH as an XOR game (targets = x AND y)."""

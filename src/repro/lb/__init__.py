@@ -34,13 +34,18 @@ from repro.lb.regime import (
 from repro.lb.policies import (
     AssignmentPolicy,
     CHSHPairedAssignment,
+    ClassicalGroupAssignment,
     ClassicalPairedAssignment,
     DedicatedPoolAssignment,
     GamePairedAssignment,
+    GHZGroupAssignment,
+    GroupAssignment,
+    MultiClassPairedAssignment,
     PowerOfTwoAssignment,
     RandomAssignment,
     RoundRobinAssignment,
     SameTypePairedAssignment,
+    WGroupAssignment,
 )
 from repro.lb.engine import vectorization_unsupported_reason
 from repro.lb.simulation import (
@@ -80,13 +85,18 @@ __all__ = [
     "regime_map_detailed",
     "AssignmentPolicy",
     "CHSHPairedAssignment",
+    "ClassicalGroupAssignment",
     "ClassicalPairedAssignment",
     "DedicatedPoolAssignment",
     "GamePairedAssignment",
+    "GHZGroupAssignment",
+    "GroupAssignment",
+    "MultiClassPairedAssignment",
     "PowerOfTwoAssignment",
     "RandomAssignment",
     "RoundRobinAssignment",
     "SameTypePairedAssignment",
+    "WGroupAssignment",
     "SERVICE_DISCIPLINES",
     "SIMULATION_ENGINES",
     "SimulationResult",

@@ -24,6 +24,11 @@ Policies:
 - :class:`GamePairedAssignment` — generic paired policy driven by any
   two-player strategy's exact behavior (used for XOR-game balancers over
   multi-subtype workloads).
+- :class:`MultiClassPairedAssignment` — pairs playing the multi-class
+  colocation game (>2 task classes, §4.1 caveat), quantum or classical.
+- :class:`GroupAssignment` — ``k``-party groups sharing GHZ/W states
+  (or classical tables): :class:`GHZGroupAssignment`,
+  :class:`WGroupAssignment`, :class:`ClassicalGroupAssignment`.
 """
 
 from __future__ import annotations
@@ -52,6 +57,11 @@ __all__ = [
     "ClassicalPairedAssignment",
     "SameTypePairedAssignment",
     "CHSHPairedAssignment",
+    "MultiClassPairedAssignment",
+    "GroupAssignment",
+    "GHZGroupAssignment",
+    "WGroupAssignment",
+    "ClassicalGroupAssignment",
 ]
 
 
@@ -203,6 +213,15 @@ class DedicatedPoolAssignment(AssignmentPolicy):
         self, num_balancers: int, num_servers: int, pool_fraction: float = 0.5
     ) -> None:
         super().__init__(num_balancers, num_servers)
+        if num_servers < 2:
+            # With one server there is no room for both a pool and a
+            # remainder: assign() would raise an opaque ValueError from
+            # rng.integers(1, 1) while assign_batch() silently emitted
+            # the invalid server index 1. Reject at construction.
+            raise ConfigurationError(
+                "DedicatedPoolAssignment needs >= 2 servers (one for the "
+                "type-C pool, one for the remainder)"
+            )
         if not 0.0 < pool_fraction < 1.0:
             raise ConfigurationError(
                 f"pool_fraction {pool_fraction} must be in (0, 1)"
@@ -235,40 +254,55 @@ class DedicatedPoolAssignment(AssignmentPolicy):
 def _default_task_to_input(task) -> int:
     """Map a task to a game input: ints pass through, TaskType uses
     the paper's bit encoding (1 = type-C)."""
-    if isinstance(task, int):
-        return task
+    if isinstance(task, (int, np.integer)):
+        return int(task)
     return task.bit
 
 
 def behavior_sampling_tables(
     behavior: np.ndarray,
-) -> tuple[tuple[int, int], np.ndarray, np.ndarray]:
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray]:
     """Precompute Born-sampling tables for a binary-output behavior.
+
+    ``behavior`` holds ``p(outputs | inputs)`` for a ``k``-party
+    strategy as a tensor of ``k`` input axes followed by ``k`` binary
+    output axes — ``(nx, ny, 2, 2)`` for the paired policies,
+    ``(n_1, ..., n_k) + (2,) * k`` for the group policies.
 
     Returns ``(num_inputs, cumulative, flat_cumulative)``:
 
-    - ``cumulative`` flattens ``p(a, b | x, y)`` into per-(x, y)
-      cumulative tables for fast per-pair sampling.
-    - ``flat_cumulative`` concatenates every (x, y) block's cumulative
-      table, offsetting block ``k``'s entries by ``k``, so one
-      ``searchsorted`` over ``block + u`` resolves all pairs at once.
+    - ``cumulative`` flattens the ``2**k`` joint outputs into a per-input
+      cumulative table for fast per-group sampling (output tuples in
+      C order, so player 0 owns the most significant outcome bit).
+    - ``flat_cumulative`` concatenates every input block's cumulative
+      table, offsetting block ``i``'s entries by ``i``, so one
+      ``searchsorted`` over ``block + u`` resolves all groups at once.
       Clipping each block at its offset + 1 keeps the flat table sorted
       even when float error pushes a cumsum above 1.
 
-    Shared by :class:`GamePairedAssignment` and the degraded policies in
-    :mod:`repro.lb.degradation`, which sample from two tables (live
-    quantum vs classical fallback) behind one interface.
+    Shared by :class:`GamePairedAssignment`, :class:`GroupAssignment`,
+    and the degraded policies in :mod:`repro.lb.degradation`, which
+    sample from two tables (live quantum vs classical fallback) behind
+    one interface.
     """
-    if behavior.shape[2] != 2 or behavior.shape[3] != 2:
-        raise StrategyError("paired policies need binary-output strategies")
-    num_inputs = behavior.shape[:2]
-    cumulative = behavior.reshape(
-        behavior.shape[0], behavior.shape[1], 4
-    ).cumsum(axis=2)
-    num_blocks = num_inputs[0] * num_inputs[1]
+    behavior = np.asarray(behavior, dtype=float)
+    if behavior.ndim < 4 or behavior.ndim % 2 != 0:
+        raise StrategyError(
+            "behavior must have k input axes then k output axes "
+            f"(k >= 2), got {behavior.ndim} axes"
+        )
+    num_players = behavior.ndim // 2
+    if behavior.shape[num_players:] != (2,) * num_players:
+        raise StrategyError(
+            "correlated-assignment policies need binary-output strategies"
+        )
+    num_inputs = behavior.shape[:num_players]
+    width = 1 << num_players
+    cumulative = behavior.reshape(num_inputs + (width,)).cumsum(axis=-1)
+    num_blocks = int(np.prod(num_inputs))
     flat_cumulative = (
         np.arange(num_blocks)[:, None]
-        + np.minimum(cumulative.reshape(num_blocks, 4), 1.0)
+        + np.minimum(cumulative.reshape(num_blocks, width), 1.0)
     ).ravel()
     return num_inputs, cumulative, flat_cumulative
 
@@ -474,3 +508,269 @@ class CHSHPairedAssignment(GamePairedAssignment):
     ) -> None:
         strategy = colocation_quantum_strategy(state)
         super().__init__(num_balancers, num_servers, strategy)
+
+
+class MultiClassPairedAssignment(GamePairedAssignment):
+    """Paired policy for the >2-task-class workload (§4.1 caveat).
+
+    Tasks carry integer classes ``0..num_classes - 1`` (class 0 is
+    type-E, classes >= 1 are incompatible type-C subtypes; see
+    :class:`repro.net.workload.MultiClassTaskMix`). The pair plays the
+    :func:`~repro.games.nonlocal_games.multi_class_colocation_game` on
+    the raw class labels: colocate exactly on matching type-C subtypes.
+    ``mode="quantum"`` measures shared Bell pairs with the Tsirelson
+    observables of the game's XOR form; ``mode="classical"`` plays the
+    best deterministic table pair with shared randomness.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        *,
+        num_classes: int = 3,
+        mode: str = "quantum",
+    ) -> None:
+        from repro.games.nonlocal_games import multi_class_colocation_game
+        from repro.games.strategies import DeterministicStrategy
+
+        game = multi_class_colocation_game(num_classes)
+        if mode == "quantum":
+            from repro.games.quantum_value import tsirelson_strategy
+
+            strategy: Strategy = tsirelson_strategy(game.to_xor_game())
+        elif mode == "classical":
+            alice, bob = game.best_classical_strategy()
+            strategy = DeterministicStrategy(outputs_a=alice, outputs_b=bob)
+        else:
+            raise ConfigurationError(
+                f"mode must be 'quantum' or 'classical', got {mode!r}"
+            )
+        super().__init__(num_balancers, num_servers, strategy)
+        self.num_classes = num_classes
+        self.mode = mode
+
+
+class GroupAssignment(AssignmentPolicy):
+    """``k``-party balancer groups playing a multiparty strategy.
+
+    The generalization of :class:`GamePairedAssignment` from Bell pairs
+    to shared ``k``-partite states (§4.1's "extends to more than two
+    players", probing the §4.2 ECMP conjecture). Each round, consecutive
+    balancers ``(gk, ..., gk + k - 1)`` form a group; the group draws
+    two distinct servers ``(s0, s1)`` from shared randomness, samples a
+    joint output tuple from the strategy's exact behavior on the
+    members' task-derived inputs, and member ``i`` routes to
+    ``s[bit_i]``. Leftover balancers (``N mod k``) route uniformly at
+    random.
+
+    ``behavior`` is the strategy's exact conditional distribution as a
+    tensor of ``k`` input axes then ``k`` binary output axes (see
+    :func:`behavior_sampling_tables`); pass a precomputed tensor or any
+    k-party strategy exposing ``behavior()`` (e.g. a
+    :class:`~repro.games.multiplayer.MultiplayerQuantumStrategy`).
+    The batched path resolves every group of every timestep with a
+    single backend ``searchsorted`` over the flat cumulative table, so
+    the chunked streaming engine serves k-party correlations at the
+    same cost per task as the paired policies.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        behavior,
+        *,
+        group_size: int | None = None,
+        task_to_input=None,
+    ) -> None:
+        super().__init__(num_balancers, num_servers)
+        if num_servers < 2:
+            raise ConfigurationError("group policies need >= 2 servers")
+        if not isinstance(behavior, np.ndarray):
+            behavior = behavior.behavior()
+        (
+            self._num_inputs,
+            self._cumulative,
+            self._flat_cumulative,
+        ) = behavior_sampling_tables(behavior)
+        self.group_size = len(self._num_inputs)
+        if group_size is not None and group_size != self.group_size:
+            raise ConfigurationError(
+                f"group_size {group_size} does not match the strategy's "
+                f"{self.group_size} parties"
+            )
+        self._width = 1 << self.group_size
+        self._task_to_input = task_to_input or _default_task_to_input
+
+    def _server_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        s0 = int(rng.integers(0, self.num_servers))
+        s1 = int(rng.integers(0, self.num_servers - 1))
+        if s1 >= s0:
+            s1 += 1
+        return s0, s1
+
+    def assign(self, tasks, rng):
+        self._check(tasks)
+        k = self.group_size
+        choices: list[int] = [0] * len(tasks)
+        num_groups = len(tasks) // k
+        for g in range(num_groups):
+            members = range(g * k, (g + 1) * k)
+            s0, s1 = self._server_pair(rng)
+            inputs = tuple(self._task_to_input(tasks[i]) for i in members)
+            if any(
+                not 0 <= x < n for x, n in zip(inputs, self._num_inputs)
+            ):
+                raise StrategyError(
+                    f"task inputs {inputs} outside the strategy's alphabet"
+                )
+            u = rng.random()
+            index = int(
+                np.searchsorted(self._cumulative[inputs], u, side="right")
+            )
+            index = min(index, self._width - 1)
+            pair = (s0, s1)
+            for j, i in enumerate(members):
+                choices[i] = pair[(index >> (k - 1 - j)) & 1]
+        for i in range(num_groups * k, len(tasks)):
+            choices[i] = int(rng.integers(0, self.num_servers))
+        return choices
+
+    def assign_batch(self, tasks, rng):
+        tasks = self._check_batch(tasks).astype(np.int64)
+        steps, n = tasks.shape
+        k = self.group_size
+        num_groups = n // k
+        choices = np.empty((steps, n), dtype=np.int64)
+        if num_groups:
+            from repro.backend import get_backend
+
+            member_inputs = [
+                tasks[:, j : k * num_groups : k] for j in range(k)
+            ]
+            block = np.zeros((steps, num_groups), dtype=np.int64)
+            for x, size in zip(member_inputs, self._num_inputs):
+                if ((x < 0) | (x >= size)).any():
+                    raise StrategyError(
+                        "task inputs outside the strategy's alphabet"
+                    )
+                block = block * size + x
+            s0 = rng.integers(0, self.num_servers, size=(steps, num_groups))
+            s1 = rng.integers(
+                0, self.num_servers - 1, size=(steps, num_groups)
+            )
+            s1 = s1 + (s1 >= s0)
+            # Born-rule outcomes: one right-bisect over the flat
+            # per-block cumulative table resolves every group of every
+            # timestep; member i's server bit is outcome bit k-1-i
+            # (C-order output tuples, player 0 most significant).
+            uniform = rng.random((steps, num_groups))
+            position = get_backend().searchsorted_right(
+                self._flat_cumulative, block + uniform
+            )
+            outcome = np.minimum(position - self._width * block, self._width - 1)
+            for j in range(k):
+                bit = (outcome >> (k - 1 - j)) & 1
+                choices[:, j : k * num_groups : k] = np.where(bit == 0, s0, s1)
+        leftover = n - num_groups * k
+        if leftover:
+            choices[:, n - leftover :] = rng.integers(
+                0, self.num_servers, size=(steps, leftover)
+            )
+        return choices
+
+
+class GHZGroupAssignment(GroupAssignment):
+    """Groups of ``k`` balancers measuring a shared GHZ state.
+
+    Each group plays the perfect Mermin strategy (X basis on type-E,
+    Y basis on type-C) on its GHZ state. The payoff is *parity
+    coordination*: on all-type-E rounds the joint outputs are uniform
+    over the even-parity tuples, so a group of 4 splits its tasks 4-0 or
+    2-2 across the server pair but never 3-1 — correlations no amount of
+    classical shared randomness reproduces (the Mermin gap grows as
+    ``1/2 + 2^(-ceil(k/2))`` vs certainty).
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        *,
+        group_size: int = 3,
+    ) -> None:
+        from repro.games.multiplayer import mermin_optimal_strategy
+
+        if group_size < 2:
+            raise ConfigurationError("groups need at least two balancers")
+        strategy = mermin_optimal_strategy(group_size)
+        super().__init__(
+            num_balancers, num_servers, strategy, group_size=group_size
+        )
+
+
+class WGroupAssignment(GroupAssignment):
+    """Groups of ``k`` balancers measuring a shared W state.
+
+    Same X/Y measurement bases as :class:`GHZGroupAssignment` but on the
+    W state from :func:`repro.quantum.entangle.w_state` — a different
+    entanglement class whose correlations are weaker for the Mermin
+    parity task. Included as the natural ablation: same policy
+    machinery, same bases, different resource state.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        *,
+        group_size: int = 3,
+    ) -> None:
+        from repro.games.multiplayer import (
+            MultiplayerQuantumStrategy,
+            mermin_optimal_strategy,
+        )
+        from repro.quantum.entangle import w_state
+
+        if group_size < 2:
+            raise ConfigurationError("groups need at least two balancers")
+        bases = mermin_optimal_strategy(group_size)._bases
+        strategy = MultiplayerQuantumStrategy(w_state(group_size), bases)
+        super().__init__(
+            num_balancers, num_servers, strategy, group_size=group_size
+        )
+
+
+class ClassicalGroupAssignment(GroupAssignment):
+    """Groups of ``k`` balancers playing the best classical Mermin tables.
+
+    The fairest classical baseline for :class:`GHZGroupAssignment`:
+    identical grouping, identical shared-randomness server draws, but
+    the joint outputs come from the optimal *deterministic* tables of
+    the ``k``-player Mermin game (value ``1/2 + 2^(-ceil(k/2))``)
+    instead of GHZ measurements.
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        num_servers: int,
+        *,
+        group_size: int = 3,
+    ) -> None:
+        from repro.games.multiplayer import mermin_game
+
+        if group_size < 2:
+            raise ConfigurationError("groups need at least two balancers")
+        game = mermin_game(group_size).to_nonlocal_game()
+        tables = game.best_classical_strategy()
+        behavior = np.zeros((2,) * (2 * group_size))
+        for inputs in np.ndindex(*game.num_inputs):
+            outputs = tuple(
+                tables[p][inputs[p]] for p in range(group_size)
+            )
+            behavior[inputs + outputs] = 1.0
+        super().__init__(
+            num_balancers, num_servers, behavior, group_size=group_size
+        )

@@ -76,12 +76,27 @@ class SimulationResult:
     )
 
 
+def _is_colocate(task) -> bool:
+    """Type-C test across task encodings.
+
+    Tasks are :class:`TaskType` members in the classic workloads and
+    integer class labels in the multi-class ones (0 = type-E, >= 1 = a
+    type-C subtype). The service disciplines are deliberately
+    subtype-blind — batching mixed subtypes is exactly the §4.1 failure
+    the *policies* must avoid — matching the vectorized engine's
+    ``task_bits != 0`` test.
+    """
+    if isinstance(task, TaskType):
+        return task is TaskType.COLOCATE
+    return int(task) != 0
+
+
 def _serve_paper(queue: deque, now: int, waits: list[int]) -> int:
     """Up to two type-C requests in parallel, else one type-E (paper rule)."""
     served = 0
-    if any(task for task, _ in queue if task is TaskType.COLOCATE):
+    if any(_is_colocate(task) for task, _ in queue):
         for _ in range(2):
-            index = _find(queue, TaskType.COLOCATE)
+            index = _find_colocate(queue)
             if index is None:
                 break
             waits.append(now - _pop(queue, index))
@@ -100,9 +115,9 @@ def _serve_fifo(queue: deque, now: int, waits: list[int]) -> int:
     head_type, arrival = queue.popleft()
     waits.append(now - arrival)
     served = 1
-    if head_type is TaskType.COLOCATE and queue:
+    if _is_colocate(head_type) and queue:
         next_type, next_arrival = queue[0]
-        if next_type is TaskType.COLOCATE:
+        if _is_colocate(next_type):
             queue.popleft()
             waits.append(now - next_arrival)
             served = 2
@@ -113,7 +128,7 @@ def _serve_serial(queue: deque, now: int, waits: list[int]) -> int:
     """One request per step, type-C first — no parallel C execution."""
     if not queue:
         return 0
-    index = _find(queue, TaskType.COLOCATE)
+    index = _find_colocate(queue)
     if index is None:
         index = 0
     waits.append(now - _pop(queue, index))
@@ -130,9 +145,9 @@ SERVICE_DISCIPLINES = {
 ServiceDiscipline = str
 
 
-def _find(queue: deque, task_type: TaskType) -> int | None:
+def _find_colocate(queue: deque) -> int | None:
     for i, (task, _) in enumerate(queue):
-        if task is task_type:
+        if _is_colocate(task):
             return i
     return None
 

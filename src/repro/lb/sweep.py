@@ -53,12 +53,19 @@ def _run_load_point(config, seed: int) -> SimulationResult:
         config["num_servers"],
         **config.get("policy_kwargs", {}),
     )
+    workload = None
+    workload_factory = config.get("workload_factory")
+    if workload_factory is not None:
+        workload = workload_factory(
+            config["num_balancers"], **config.get("workload_kwargs", {})
+        )
     return run_timestep_simulation(
         policy,
         timesteps=config["timesteps"],
         seed=seed,
         discipline=config["discipline"],
         p_colocate=config["p_colocate"],
+        workload=workload,
         engine=config.get("engine", "auto"),
         backend=config.get("backend"),
         chunk_steps=config.get("chunk_steps"),
@@ -82,6 +89,8 @@ def sweep_load_detailed(
     backend: str | None = None,
     chunk_steps: int | None = None,
     policy_kwargs: dict | None = None,
+    workload_factory=None,
+    workload_kwargs: dict | None = None,
 ) -> tuple[list[LoadSweepPoint], RunReport]:
     """Like :func:`sweep_load`, also returning the execution report."""
     if not loads:
@@ -132,6 +141,14 @@ def sweep_load_detailed(
         # sweeps of the same factory at different fault settings never
         # collide in the result cache.
         base_config["policy_kwargs"] = dict(policy_kwargs)
+    if workload_factory is not None:
+        # ``workload_factory(num_balancers, **workload_kwargs)`` builds
+        # the per-point workload (e.g. a multi-class task mix) in the
+        # worker; like the policy factory it fingerprints by identity
+        # and source, so swapping the workload invalidates the cache.
+        base_config["workload_factory"] = workload_factory
+        if workload_kwargs:
+            base_config["workload_kwargs"] = dict(workload_kwargs)
     report = runner.run(
         [
             ({**base_config, "num_servers": num_servers}, seed)
@@ -167,6 +184,8 @@ def sweep_load(
     backend: str | None = None,
     chunk_steps: int | None = None,
     policy_kwargs: dict | None = None,
+    workload_factory=None,
+    workload_kwargs: dict | None = None,
 ) -> list[LoadSweepPoint]:
     """Run the Fig 4 experiment across a load (``N/M``) sweep.
 
@@ -174,10 +193,14 @@ def sweep_load(
     builds a fresh policy per point (policies may carry state such as
     round-robin counters, and — for degraded policies — fault-model
     state). ``policy_kwargs`` must be picklable and fingerprintable: it
-    travels to worker processes and into the result-cache key. Requested
-    loads that collapse onto the same integer server count are
-    de-duplicated with a warning; each surviving point records both the
-    caller's ``requested_load`` and the actual rounded ``load``.
+    travels to worker processes and into the result-cache key. An
+    optional ``workload_factory(num_balancers, **workload_kwargs)``
+    replaces the Bernoulli mix per point (e.g.
+    :class:`~repro.net.workload.MultiClassTaskMix` for >2 task classes)
+    under the same picklability rules. Requested loads that collapse
+    onto the same integer server count are de-duplicated with a
+    warning; each surviving point records both the caller's
+    ``requested_load`` and the actual rounded ``load``.
     """
     points, _ = sweep_load_detailed(
         policy_factory,
@@ -195,6 +218,8 @@ def sweep_load(
         backend=backend,
         chunk_steps=chunk_steps,
         policy_kwargs=policy_kwargs,
+        workload_factory=workload_factory,
+        workload_kwargs=workload_kwargs,
     )
     return points
 

@@ -9,14 +9,19 @@ when "multiple subtypes of type-C tasks ... do not like being mixed".
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Request, TaskType
 
-__all__ = ["BernoulliTaskMix", "PoissonArrivals", "SubtypedTaskMix"]
+__all__ = [
+    "BernoulliTaskMix",
+    "MultiClassTaskMix",
+    "PoissonArrivals",
+    "SubtypedTaskMix",
+]
 
 
 class BernoulliTaskMix:
@@ -56,6 +61,62 @@ class BernoulliTaskMix:
             Request(task_type=t, arrival_time=time, source=i)
             for i, t in enumerate(self.draw(rng))
         ]
+
+
+class MultiClassTaskMix:
+    """Per-balancer, per-timestep draw over ``C`` integer task classes.
+
+    Class 0 is type-E; classes ``1..C-1`` are mutually incompatible
+    type-C subtypes (the §4.1 caveat). Tasks are plain integers — the
+    inputs of a general nonlocal game — so the timestep engines route
+    them straight into multi-input policies such as
+    :class:`~repro.lb.policies.MultiClassPairedAssignment` (the
+    :class:`TaskType` bit encoding is the ``C = 2`` special case).
+    """
+
+    def __init__(
+        self,
+        num_balancers: int,
+        class_probabilities: Sequence[float] = (0.5, 0.25, 0.25),
+    ) -> None:
+        if num_balancers < 1:
+            raise ConfigurationError("need at least one balancer")
+        probs = np.asarray(class_probabilities, dtype=float)
+        if probs.ndim != 1 or probs.size < 2:
+            raise ConfigurationError("need at least two task classes")
+        if (probs < 0).any() or abs(probs.sum() - 1.0) > 1e-9:
+            raise ConfigurationError(
+                "class probabilities must form a distribution"
+            )
+        self.num_balancers = num_balancers
+        self.class_probabilities = tuple(float(p) for p in probs)
+        self._cumulative = np.minimum(probs.cumsum(), 1.0)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of task classes."""
+        return len(self.class_probabilities)
+
+    def _classes_from_uniform(self, uniform: np.ndarray) -> np.ndarray:
+        classes = np.searchsorted(self._cumulative, uniform, side="right")
+        return np.minimum(classes, self.num_classes - 1).astype(np.uint8)
+
+    def draw(self, rng: np.random.Generator) -> list[int]:
+        """One timestep's task classes, one per balancer."""
+        uniform = rng.random(self.num_balancers)
+        return [int(c) for c in self._classes_from_uniform(uniform)]
+
+    def draw_batch(self, rng: np.random.Generator, steps: int) -> np.ndarray:
+        """``steps`` timesteps of classes as a ``(steps, N)`` int matrix.
+
+        Consumes ``rng`` exactly like ``steps`` successive :meth:`draw`
+        calls (uniform doubles fill row-major), so batched and per-step
+        workloads see identical task streams.
+        """
+        if steps < 1:
+            raise ConfigurationError("need at least one timestep")
+        uniform = rng.random((steps, self.num_balancers))
+        return self._classes_from_uniform(uniform)
 
 
 class SubtypedTaskMix:

@@ -105,3 +105,55 @@ class TestResultCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         cache = ResultCache()
         assert cache.root == tmp_path / "envcache"
+
+    def test_stale_module_entry_is_a_clean_miss(self, tmp_path, monkeypatch):
+        # Regression: a cached pickle referencing a class whose module
+        # was since renamed/deleted raises ModuleNotFoundError from the
+        # unpickler; get() used to propagate it instead of missing.
+        import sys
+
+        from repro.obs import MetricsRegistry, use_registry
+
+        moddir = tmp_path / "mods"
+        moddir.mkdir()
+        (moddir / "ghost_module.py").write_text(
+            "class Ghost:\n    pass\n", encoding="utf-8"
+        )
+        monkeypatch.syspath_prepend(str(moddir))
+        import ghost_module
+
+        cache = ResultCache(tmp_path / "cache")
+        key = cache_key({"x": 1}, 0)
+        cache.put(key, ghost_module.Ghost())
+        (moddir / "ghost_module.py").unlink()
+        monkeypatch.delitem(sys.modules, "ghost_module")
+
+        with use_registry(MetricsRegistry()) as registry:
+            assert cache.get(key) == (False, None)
+        assert registry.counter("cache.stale").value == 1
+        assert registry.counter("cache.miss").value == 1
+        assert registry.counter("cache.hit").value == 0
+
+    def test_torn_frame_is_a_stale_miss(self, tmp_path):
+        # Truncating a pickle mid-frame exercises the torn-bytes arm of
+        # the same except clause (UnpicklingError/EOFError/ValueError
+        # depending on where the cut lands).
+        from repro.obs import MetricsRegistry, use_registry
+
+        cache = ResultCache(tmp_path)
+        key = cache_key({"x": 2}, 0)
+        cache.put(key, {"payload": list(range(100))})
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:20])
+        with use_registry(MetricsRegistry()) as registry:
+            assert cache.get(key) == (False, None)
+        assert registry.counter("cache.stale").value == 1
+
+    def test_absent_entry_is_miss_without_stale(self, tmp_path):
+        from repro.obs import MetricsRegistry, use_registry
+
+        cache = ResultCache(tmp_path)
+        with use_registry(MetricsRegistry()) as registry:
+            assert cache.get(cache_key({"x": 3}, 0)) == (False, None)
+        assert registry.counter("cache.stale").value == 0
+        assert registry.counter("cache.miss").value == 1

@@ -98,6 +98,20 @@ class TestDedicatedPool:
         policy = DedicatedPoolAssignment(10, 2, pool_fraction=0.9)
         assert 1 <= policy.pool_size <= 1
 
+    def test_single_server_rejected(self):
+        # Regression: with one server the serial path raised an opaque
+        # ValueError from rng.integers(1, 1) on the first type-E task
+        # while the batched path silently emitted server index 1 —
+        # divergent failures for the same bad config. Both paths share
+        # __init__, so the rejection covers serial and batch alike.
+        with pytest.raises(ConfigurationError, match=">= 2 servers"):
+            DedicatedPoolAssignment(10, 1)
+
+    def test_two_servers_still_accepted(self, rng):
+        policy = DedicatedPoolAssignment(10, 2)
+        choices = policy.assign([C, E] * 5, rng)
+        assert all(0 <= c < 2 for c in choices)
+
 
 class TestPairedPolicies:
     def test_needs_two_servers(self):
