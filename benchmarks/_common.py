@@ -70,6 +70,9 @@ SCALE_LADDER = {
         "group_timesteps": 400,
         "group_sizes": (3,),
         "group_loads": (0.9, 1.2, 1.5),
+        "nonlocal_restarts": 3,
+        "nonlocal_iterations": 120,
+        "nonlocal_cascade_games": 6,
     },
     "paper": {
         "stream_balancers": 10_000,
@@ -81,6 +84,9 @@ SCALE_LADDER = {
         "group_timesteps": 2_000,
         "group_sizes": (3, 4),
         "group_loads": (0.8, 1.0, 1.2, 1.5),
+        "nonlocal_restarts": 5,
+        "nonlocal_iterations": 200,
+        "nonlocal_cascade_games": 24,
     },
     "production": {
         "stream_balancers": 10_000,
@@ -92,6 +98,9 @@ SCALE_LADDER = {
         "group_timesteps": 10_000,
         "group_sizes": (3, 4, 5),
         "group_loads": (0.8, 1.0, 1.2, 1.5),
+        "nonlocal_restarts": 8,
+        "nonlocal_iterations": 300,
+        "nonlocal_cascade_games": 96,
     },
 }
 

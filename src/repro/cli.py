@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
                       "serial per-game SDP loop, 'auto' the cascade "
                       "(per-game decisions are identical either way; "
                       "see docs/reproducing.md)")
+    fig3.add_argument("--game-family",
+                      choices=("xor", "colocation3", "random-nonlocal"),
+                      default="xor",
+                      help="game family per point: 'xor' (default) runs "
+                      "the original affinity-graph pipeline; "
+                      "'colocation3' and 'random-nonlocal' sample "
+                      "general games (p becomes the family parameter) "
+                      "and decide them with the see-saw/NPA cascade")
     fig3.add_argument("--no-cache", action="store_true",
                       help="skip the content-addressed result cache "
                       "(REPRO_CACHE_DIR, default .repro_cache)")
@@ -286,15 +294,21 @@ def _fig3_point(config: dict, seed: int) -> float:
     from repro.games import advantage_probability
     from repro.sim import RandomStreams
 
-    rng = RandomStreams(seed).stream(
-        f"fig3:v={config['vertices']}:p={config['p']}"
-    )
+    family = config.get("family", "xor")
+    if family == "xor":
+        stream_name = f"fig3:v={config['vertices']}:p={config['p']}"
+    else:
+        stream_name = (
+            f"fig3:{family}:v={config['vertices']}:p={config['p']}"
+        )
+    rng = RandomStreams(seed).stream(stream_name)
     return advantage_probability(
         config["vertices"],
         config["p"],
         config["games"],
         rng,
         method=config["method"],
+        game_family=family,
     )
 
 
@@ -316,6 +330,7 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
                     "p": float(p),
                     "games": args.games,
                     "method": args.method,
+                    "family": args.game_family,
                 },
                 args.seed,
             )
@@ -325,12 +340,23 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
     rows = [
         [p, prob] for p, prob in zip(args.points, report.values())
     ]
+    if args.game_family == "xor":
+        parameter_label = "P(edge exclusive)"
+        title = (
+            f"Fig 3: {args.vertices}-vertex graphs, "
+            f"{args.games} games/point"
+        )
+    else:
+        parameter_label = "family parameter p"
+        title = (
+            f"Fig 3 ({args.game_family} family): "
+            f"{args.games} games/point"
+        )
     print(
         format_table(
-            ["P(edge exclusive)", "P(quantum advantage)"],
+            [parameter_label, "P(quantum advantage)"],
             rows,
-            title=f"Fig 3: {args.vertices}-vertex graphs, "
-            f"{args.games} games/point",
+            title=title,
         )
     )
 

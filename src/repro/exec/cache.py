@@ -57,7 +57,11 @@ __all__ = [
 #: ``(prob_mat, pred_mat)`` representation and k-party group policies;
 #: cached results referencing pre-refactor classes must not replay
 #: (and can no longer unpickle — see :meth:`ResultCache.get`).
-CACHE_VERSION = 6
+#: v7: quantum-value-bounds pipeline — fig3 configs grew a
+#: ``game-family`` axis and non-XOR points run the see-saw/NPA
+#: cascade; pre-cascade entries must not replay against the new
+#: config shape.
+CACHE_VERSION = 7
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit

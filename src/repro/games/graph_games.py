@@ -179,6 +179,7 @@ def advantage_decisions(
     include_diagonal: bool = False,
     tolerance: float = 1e-8,
     method: str = "auto",
+    game_family: str = "xor",
 ) -> np.ndarray:
     """Per-game advantage verdicts for one Fig 3 point.
 
@@ -195,6 +196,15 @@ def advantage_decisions(
 
     Both paths consume ``rng`` identically, so verdict arrays are
     comparable game-by-game across methods.
+
+    ``game_family`` extends the sweep beyond XOR: ``"xor"`` (default)
+    keeps the affinity-graph pipeline above bit-for-bit; the non-XOR
+    families of :data:`repro.games.bounds.GAME_FAMILIES` sample
+    general games from ``rng`` (``p_exclusive`` becomes the family's
+    cell-replacement / win-density parameter) and decide them with the
+    see-saw/NPA cascade (:func:`repro.games.bounds.screen_nonlocal_games`);
+    only certified advantages count, so the reported fraction is a
+    lower bound for those families.
     """
     if num_games < 1:
         raise GameError("need at least one game")
@@ -202,6 +212,19 @@ def advantage_decisions(
         raise GameError(
             f"unknown method {method!r}; expected one of {ADVANTAGE_METHODS}"
         )
+    if game_family != "xor":
+        from repro.games.bounds import (
+            sample_game_family,
+            screen_nonlocal_games,
+        )
+
+        games = sample_game_family(
+            game_family, num_types, p_exclusive, num_games, rng
+        )
+        report = screen_nonlocal_games(
+            games, threshold=threshold, tolerance=tolerance
+        )
+        return report.verdicts.copy()
     if method in ("auto", "batched"):
         from repro.games.batch import screen_advantage_batch
 
@@ -238,6 +261,7 @@ def advantage_probability(
     include_diagonal: bool = False,
     tolerance: float = 1e-8,
     method: str = "auto",
+    game_family: str = "xor",
 ) -> float:
     """Fraction of random games with a quantum advantage (one Fig 3 point).
 
@@ -245,6 +269,8 @@ def advantage_probability(
     serial per-game loop is available as ``method="reference"``. The two
     sample identical games and make identical per-game decisions (see
     :func:`advantage_decisions`), so the returned fraction is the same.
+    Non-``"xor"`` values of ``game_family`` sweep the general-game
+    families instead (see :func:`advantage_decisions`).
     """
     return float(
         advantage_decisions(
@@ -256,5 +282,6 @@ def advantage_probability(
             include_diagonal=include_diagonal,
             tolerance=tolerance,
             method=method,
+            game_family=game_family,
         ).mean()
     )

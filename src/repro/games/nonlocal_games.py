@@ -45,6 +45,9 @@ __all__ = [
     "MAGIC_SQUARE_CLASSICAL_VALUE",
     "multi_class_colocation_game",
     "multiplayer_behavior",
+    "tilted_chsh_game",
+    "tilted_chsh_classical_value",
+    "tilted_chsh_quantum_value",
 ]
 
 #: The FFL (Fortnow–Feige–Lovász) game's classical *and* quantum value —
@@ -504,6 +507,56 @@ def multi_class_colocation_game(num_classes: int) -> NonlocalGame:
         prob,
         lambda x, y, a, b: (a ^ b) == (0 if (x == y and x >= 1) else 1),
     )
+
+
+def tilted_chsh_game(beta: float) -> NonlocalGame:
+    """The tilted CHSH family (Acín–Massar–Pironio) as a nonlocal game.
+
+    The Bell functional ``I_beta = beta <A_0> + <A_0 B_0> + <A_0 B_1> +
+    <A_1 B_0> - <A_1 B_1>`` has classical maximum ``2 + beta`` and
+    quantum maximum ``sqrt(8 + 2 beta^2)`` for ``0 <= beta < 2``.
+    Rescaling into a win probability with fractional predicate values::
+
+        V(a, b | x, y) = (1 + (s_xy (-1)^(a+b)
+                          + (beta/2) [x == 0] (-1)^a) / (1 + beta/2)) / 2
+
+    over uniform inputs (``s_xy = -1`` only at ``x = y = 1``) gives
+    game value ``1/2 + I_beta / (8 (1 + beta/2))`` for any
+    no-signaling behavior. ``beta = 0`` recovers plain CHSH; the
+    marginal term makes the game non-XOR-representable for
+    ``beta > 0``, so it exercises the see-saw/NPA path with
+    family-closed-form cross-checks (:func:`tilted_chsh_classical_value`,
+    :func:`tilted_chsh_quantum_value`).
+    """
+    if not 0.0 <= beta < 2.0:
+        raise GameError("tilted CHSH requires 0 <= beta < 2")
+    scale = 1.0 + beta / 2.0
+    pred = np.empty((2, 2, 2, 2))
+    for x in range(2):
+        for y in range(2):
+            sign_xy = -1.0 if x == 1 and y == 1 else 1.0
+            for a in range(2):
+                for b in range(2):
+                    correlator = sign_xy * (-1.0) ** (a + b)
+                    marginal = (beta / 2.0) * (-1.0) ** a if x == 0 else 0.0
+                    pred[a, b, x, y] = (
+                        1.0 + (correlator + marginal) / scale
+                    ) / 2.0
+    return NonlocalGame(
+        name=f"tilted-chsh-{beta:g}",
+        prob_mat=np.full((2, 2), 0.25),
+        pred_mat=pred,
+    )
+
+
+def tilted_chsh_classical_value(beta: float) -> float:
+    """Closed-form classical value of :func:`tilted_chsh_game`."""
+    return 0.5 + (2.0 + beta) / (8.0 * (1.0 + beta / 2.0))
+
+
+def tilted_chsh_quantum_value(beta: float) -> float:
+    """Closed-form quantum value of :func:`tilted_chsh_game`."""
+    return 0.5 + math.sqrt(8.0 + 2.0 * beta**2) / (8.0 * (1.0 + beta / 2.0))
 
 
 # -- multiparty games ---------------------------------------------------------

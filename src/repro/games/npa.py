@@ -1,26 +1,58 @@
-"""NPA level-1 upper bounds on quantum values of binary-output games.
+"""NPA upper bounds on quantum values of two-player nonlocal games.
 
 The Navascues-Pironio-Acin hierarchy relaxes the set of quantum
-correlations; at level 1 the moment matrix is indexed by
-``{1, A_0.., B_0..}`` for ±1 observables. Any quantum strategy induces a
-PSD moment matrix with unit diagonal, so maximizing the (linear) win
-probability over such matrices upper-bounds the quantum value.
+correlations. Two forms live here:
+
+* :func:`npa1_cost` / :func:`npa1_upper_bound` — the original
+  binary-output level-1 relaxation in ±1-observable (correlator) form.
+  Its moment matrix has unit diagonal, so it runs on
+  :func:`repro.sdp.solve_diagonal_sdp` and inherits that solver's
+  repaired dual certificate.
+* :func:`build_npa_relaxation` / :func:`npa_upper_bound` — the general
+  projector form over arbitrary finite output alphabets, at level
+  ``"1"`` or level ``"1+ab"`` (the "almost quantum" set: monomial
+  basis ``{1} ∪ {A_x^a} ∪ {B_y^b} ∪ {A_x^a B_y^b}``). Moment-matrix
+  entries that reduce to the same canonical monomial are identified
+  and orthogonal same-input projector products pinned to zero; the
+  resulting partition SDP is solved by
+  :func:`repro.sdp.solve_partition_sdp`, whose repaired dual bound is
+  rigorous because every monomial here is a product of projectors, so
+  feasible moment matrices have diagonal entries at most one.
+
+Restricting the moment matrix to be real symmetric keeps the bound
+valid: the entrywise real part of any complex Hermitian quantum moment
+matrix is PSD, satisfies the same identifications, and leaves the
+(real) objective unchanged.
 
 The paper's §4.2 conjectures that ECMP-style collision games admit *no*
-quantum advantage; :mod:`repro.ecmp.search` uses this bound from above
-and a see-saw optimizer from below to squeeze the quantum value against
-the classical one.
+quantum advantage; :mod:`repro.ecmp.search` uses these bounds from
+above and a see-saw optimizer from below to squeeze the quantum value
+against the classical one.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import GameError
 from repro.games.base import TwoPlayerGame
-from repro.sdp import SDPResult, solve_diagonal_sdp
+from repro.games.nonlocal_games import NonlocalGame
+from repro.obs import metrics as _metrics
+from repro.obs.spans import span
+from repro.sdp import SDPResult, solve_diagonal_sdp, solve_partition_sdp
 
-__all__ = ["npa1_upper_bound", "npa1_cost"]
+__all__ = [
+    "NPA_LEVELS",
+    "NPARelaxation",
+    "build_npa_relaxation",
+    "npa1_cost",
+    "npa1_upper_bound",
+    "npa_upper_bound",
+]
+
+NPA_LEVELS = ("1", "1+ab")
 
 
 def npa1_cost(game: TwoPlayerGame) -> tuple[np.ndarray, float]:
@@ -67,9 +99,250 @@ def npa1_upper_bound(
 ) -> tuple[float, SDPResult]:
     """Rigorous upper bound on the quantum win probability of ``game``.
 
+    Binary-output games take the original correlator-form level-1 path;
+    larger alphabets route through the general projector relaxation of
+    :func:`npa_upper_bound` at level ``"1"`` (both are level-1 NPA — the
+    two forms are congruent, so binary games get the same bound either
+    way, which the test suite checks differentially).
+
     Returns ``(bound, sdp_result)``; the bound uses the solver's repaired
     dual certificate, so it holds even before full convergence.
     """
-    cost, constant = npa1_cost(game)
-    result = solve_diagonal_sdp(cost, tolerance=tolerance)
-    return constant + result.upper_bound, result
+    if game.num_outputs_a == 2 and game.num_outputs_b == 2:
+        cost, constant = npa1_cost(game)
+        result = solve_diagonal_sdp(cost, tolerance=tolerance)
+        return constant + result.upper_bound, result
+    return npa_upper_bound(
+        NonlocalGame.from_two_player_game(game),
+        level="1",
+        tolerance=tolerance,
+    )
+
+
+# ---------------------------------------------------------------------------
+# General projector-form relaxation.
+# ---------------------------------------------------------------------------
+
+# A monomial is (alice_word, bob_word); each word is a tuple of
+# (input, output) projector labels. Level 1 words have length <= 1, so
+# entry products have words of length <= 2 and never need reordering
+# beyond the A/B split (Alice's algebra commutes with Bob's).
+
+
+def _reduce_word(word: tuple[tuple[int, int], ...]):
+    """Canonical form of a projector word, or ``None`` if it vanishes.
+
+    Adjacent equal projectors collapse (idempotence); adjacent
+    projectors with the same input but different outputs annihilate
+    (orthogonality).
+    """
+    out: list[tuple[int, int]] = []
+    for label in word:
+        if out and out[-1] == label:
+            continue
+        if out and out[-1][0] == label[0]:
+            return None
+        out.append(label)
+    return tuple(out)
+
+
+def _entry_key(mono_i, mono_j):
+    """Canonical monomial of ``m_i† m_j``, or ``None`` if it is zero.
+
+    Real moment matrices satisfy ``Gamma[i, j] = Re<m_i† m_j>`` and
+    ``Re<W> = Re<W†>``, so a word and its reversal share a key.
+    """
+    alice = _reduce_word(tuple(reversed(mono_i[0])) + mono_j[0])
+    if alice is None:
+        return None
+    bob = _reduce_word(tuple(reversed(mono_i[1])) + mono_j[1])
+    if bob is None:
+        return None
+    key = (alice, bob)
+    mirrored = (tuple(reversed(alice)), tuple(reversed(bob)))
+    return min(key, mirrored)
+
+
+@dataclass(frozen=True)
+class NPARelaxation:
+    """A general NPA moment-matrix relaxation, ready for the solver.
+
+    Attributes:
+        level: hierarchy level, one of :data:`NPA_LEVELS`.
+        size: moment-matrix dimension.
+        cost: symmetric cost matrix; the objective is
+            ``<cost, Gamma> + constant``.
+        constant: affine offset from expanding dropped outputs.
+        classes: groups of upper-triangle entries identified by a
+            shared canonical monomial (includes the ``Gamma[v, v] =
+            Gamma[1, v]`` projector normalizations).
+        zero_entries: entries whose monomial vanishes (orthogonal
+            same-input projectors).
+        monomials: the basis monomials, for debugging/reporting.
+    """
+
+    level: str
+    size: int
+    cost: np.ndarray
+    constant: float
+    classes: tuple[tuple[tuple[int, int], ...], ...]
+    zero_entries: tuple[tuple[int, int], ...]
+    monomials: tuple[tuple, ...]
+
+
+def build_npa_relaxation(
+    game: NonlocalGame, *, level: str = "1+ab"
+) -> NPARelaxation:
+    """Assemble the moment matrix structure and objective for ``game``.
+
+    One projector per input/output pair is kept except the last output
+    of each input (completeness ``sum_a A_x^a = 1`` eliminates it); the
+    win probability is expanded over the surviving projectors, with
+    marginal terms against row 0 and product terms in the A-B block.
+    """
+    if level not in NPA_LEVELS:
+        raise GameError(
+            f"unknown NPA level {level!r}; expected one of {NPA_LEVELS}"
+        )
+    nx, ny = game.num_inputs
+    na, nb = game.num_outputs
+    alice_singles = [
+        (((x, a),), ()) for x in range(nx) for a in range(na - 1)
+    ]
+    bob_singles = [((), ((y, b),)) for y in range(ny) for b in range(nb - 1)]
+    monomials: list[tuple] = [((), ())] + alice_singles + bob_singles
+    if level == "1+ab":
+        monomials += [
+            (alice[0], bob[1])
+            for alice in alice_singles
+            for bob in bob_singles
+        ]
+    size = len(monomials)
+
+    alice_index = {
+        mono[0][0]: 1 + i for i, mono in enumerate(alice_singles)
+    }
+    bob_index = {
+        mono[1][0]: 1 + len(alice_singles) + i
+        for i, mono in enumerate(bob_singles)
+    }
+
+    # Objective: expand p(a, b | x, y) over the reduced projector set.
+    # Dropped outputs expand via completeness, e.g. for a = na - 1 the
+    # Alice factor is 1 - sum_{a' < na-1} A_x^{a'}.
+    cost = np.zeros((size, size))
+    constant = 0.0
+
+    def _complement(labels):
+        """Expansion of ``1 - sum(labels)`` as (sign, label-or-None)."""
+        return [(1.0, None)] + [(-1.0, label) for label in labels]
+
+    def _add(i: int, j: int, value: float) -> None:
+        if i == j:
+            cost[i, i] += value
+        else:
+            cost[i, j] += value / 2.0
+            cost[j, i] += value / 2.0
+
+    for x in range(nx):
+        for y in range(ny):
+            weight = float(game.prob_mat[x, y])
+            if weight == 0.0:
+                continue
+            for a in range(na):
+                alice_terms = (
+                    [(1.0, (x, a))]
+                    if a < na - 1
+                    else _complement([(x, aa) for aa in range(na - 1)])
+                )
+                for b in range(nb):
+                    coeff = weight * float(game.pred_mat[a, b, x, y])
+                    if coeff == 0.0:
+                        continue
+                    bob_terms = (
+                        [(1.0, (y, b))]
+                        if b < nb - 1
+                        else _complement([(y, bb) for bb in range(nb - 1)])
+                    )
+                    for sign_a, label_a in alice_terms:
+                        for sign_b, label_b in bob_terms:
+                            value = coeff * sign_a * sign_b
+                            if label_a is None and label_b is None:
+                                constant += value
+                            elif label_b is None:
+                                _add(0, alice_index[label_a], value)
+                            elif label_a is None:
+                                _add(0, bob_index[label_b], value)
+                            else:
+                                _add(
+                                    alice_index[label_a],
+                                    bob_index[label_b],
+                                    value,
+                                )
+
+    # Entry identifications: group upper-triangle entries by the
+    # canonical monomial of m_i† m_j. The corner (0, 0) is the lone
+    # identity moment and stays pinned by the solver instead.
+    class_map: dict[tuple, list[tuple[int, int]]] = {}
+    zero_entries: list[tuple[int, int]] = []
+    for i in range(size):
+        for j in range(i, size):
+            if i == 0 and j == 0:
+                continue
+            key = _entry_key(monomials[i], monomials[j])
+            if key is None:
+                zero_entries.append((i, j))
+            else:
+                class_map.setdefault(key, []).append((i, j))
+    classes = tuple(
+        tuple(entries) for entries in class_map.values() if len(entries) > 1
+    )
+    return NPARelaxation(
+        level=level,
+        size=size,
+        cost=cost,
+        constant=constant,
+        classes=classes,
+        zero_entries=tuple(zero_entries),
+        monomials=tuple(monomials),
+    )
+
+
+def npa_upper_bound(
+    game: NonlocalGame | TwoPlayerGame,
+    *,
+    level: str = "1+ab",
+    tolerance: float = 1e-8,
+    max_iterations: int = 20_000,
+) -> tuple[float, SDPResult]:
+    """Rigorous NPA upper bound on the quantum value of any two-player
+    game with finite alphabets.
+
+    Level ``"1+ab"`` (default) is the "almost quantum" relaxation —
+    never weaker than level ``"1"``. The bound combines the partition
+    solver's repaired dual certificate with the relaxation constant,
+    so it is a true upper bound on the quantum win probability even
+    when the ADMM stops early.
+
+    Returns ``(bound, sdp_result)``.
+    """
+    if not isinstance(game, NonlocalGame):
+        game = NonlocalGame.from_two_player_game(game)
+    relaxation = build_npa_relaxation(game, level=level)
+    registry = _metrics.get_registry()
+    registry.counter("npa.solves").inc()
+    registry.counter("npa.moment_entries").inc(relaxation.size**2)
+    with span(
+        "npa.solve",
+        game=game.name,
+        level=level,
+        size=relaxation.size,
+    ):
+        result = solve_partition_sdp(
+            relaxation.cost,
+            relaxation.classes,
+            relaxation.zero_entries,
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+        )
+    return relaxation.constant + result.upper_bound, result

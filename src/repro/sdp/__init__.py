@@ -4,7 +4,7 @@ Standing in for Toqito's SDP backends (DESIGN.md §2): computes the
 Tsirelson quantum value of XOR games and NPA level-1 upper bounds.
 """
 
-from repro.sdp.admm import solve_diagonal_sdp, solve_sdp
+from repro.sdp.admm import solve_diagonal_sdp, solve_partition_sdp, solve_sdp
 from repro.sdp.batch import (
     dual_upper_bound_batch,
     repair_feasible_batch,
@@ -22,6 +22,7 @@ from repro.sdp.result import SDPResult
 __all__ = [
     "solve_diagonal_sdp",
     "solve_diagonal_sdp_batch",
+    "solve_partition_sdp",
     "solve_sdp",
     "dual_upper_bound_batch",
     "repair_feasible_batch",

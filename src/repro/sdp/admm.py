@@ -34,7 +34,7 @@ from repro.obs import metrics as _metrics
 from repro.sdp.projections import project_psd, symmetrize
 from repro.sdp.result import SDPResult
 
-__all__ = ["solve_diagonal_sdp", "solve_sdp"]
+__all__ = ["solve_diagonal_sdp", "solve_partition_sdp", "solve_sdp"]
 
 
 def solve_diagonal_sdp(
@@ -211,6 +211,198 @@ def solve_sdp(
         dual_residual=dual_res,
         converged=converged,
     )
+
+
+def solve_partition_sdp(
+    cost: np.ndarray,
+    classes: Sequence[Sequence[tuple[int, int]]],
+    zero_entries: Sequence[tuple[int, int]] = (),
+    *,
+    corner_value: float = 1.0,
+    diagonal_cap: float = 1.0,
+    rho: float = 1.0,
+    tolerance: float = 1e-8,
+    max_iterations: int = 20_000,
+) -> SDPResult:
+    """Solve a moment-matrix SDP with entry-identification constraints.
+
+    ``max <C, X>  s.t.  X PSD,  X[0, 0] = corner_value,
+    X[e] = 0 for e in zero_entries, and all entries within each class
+    equal`` — the constraint structure of an NPA moment matrix, where
+    distinct index pairs carry the same canonical monomial. Unlike
+    :func:`solve_sdp`, the affine step is an exact O(nnz)
+    scatter/gather (weighted class means) instead of a dense
+    pseudo-inverse, so thousands of identifications stay cheap.
+
+    The returned ``upper_bound`` is rigorous for any matrix that is
+    feasible *and* has every diagonal entry at most ``diagonal_cap``
+    (true for moment matrices of products of projectors): the ADMM
+    dual iterate is projected onto the exact span of the constraint
+    matrices and the projection residual plus any negative eigenvalue
+    of the dual slack is charged against the trace cap
+    ``n * diagonal_cap``. The bound therefore holds even before
+    convergence — early stopping only loosens it.
+
+    Args:
+        cost: symmetric cost matrix ``C`` (symmetrized if not).
+        classes: groups of ``(i, j)`` index pairs (``i <= j``) whose
+            entries must agree; singleton groups are allowed no-ops.
+        zero_entries: index pairs pinned to zero.
+        corner_value: required value of ``X[0, 0]`` (moment
+            normalization).
+        diagonal_cap: per-entry diagonal bound used only in the dual
+            repair; must hold for every feasible matrix of interest.
+        rho: ADMM penalty parameter.
+        tolerance: residual threshold for convergence.
+        max_iterations: iteration cap (no exception on hitting it —
+            the repaired bound stays valid, just looser).
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2 or cost.shape[0] != cost.shape[1]:
+        raise SolverError(f"cost must be square, got shape {cost.shape}")
+    c = symmetrize(cost)
+    n = c.shape[0]
+    if corner_value <= 0:
+        raise SolverError("corner_value must be positive")
+    if diagonal_cap <= 0:
+        raise SolverError("diagonal_cap must be positive")
+
+    cls_rows, cls_cols, cls_ids, cls_w = [], [], [], []
+    for cid, group in enumerate(classes):
+        for i, j in group:
+            i, j = (int(i), int(j)) if i <= j else (int(j), int(i))
+            if not 0 <= i <= j < n:
+                raise SolverError(f"class entry {(i, j)} out of range")
+            if (i, j) == (0, 0):
+                raise SolverError("corner entry (0, 0) cannot join a class")
+            cls_rows.append(i)
+            cls_cols.append(j)
+            cls_ids.append(cid)
+            # Frobenius weight: off-diagonal entries appear twice.
+            cls_w.append(1.0 if i == j else 2.0)
+    num_classes = len(classes)
+    cls_rows = np.asarray(cls_rows, dtype=np.intp)
+    cls_cols = np.asarray(cls_cols, dtype=np.intp)
+    cls_ids = np.asarray(cls_ids, dtype=np.intp)
+    cls_w = np.asarray(cls_w, dtype=float)
+    weight_sums = np.bincount(cls_ids, weights=cls_w, minlength=num_classes)
+    if num_classes and (weight_sums == 0).any():
+        raise SolverError("every class needs at least one entry")
+
+    zr, zc = [], []
+    for i, j in zero_entries:
+        i, j = (int(i), int(j)) if i <= j else (int(j), int(i))
+        if not 0 <= i <= j < n:
+            raise SolverError(f"zero entry {(i, j)} out of range")
+        if (i, j) == (0, 0):
+            raise SolverError("corner entry (0, 0) cannot be pinned to zero")
+        zr.append(i)
+        zc.append(j)
+    zr = np.asarray(zr, dtype=np.intp)
+    zc = np.asarray(zc, dtype=np.intp)
+
+    def class_means(mat: np.ndarray) -> np.ndarray:
+        vals = mat[cls_rows, cls_cols]
+        sums = np.bincount(
+            cls_ids, weights=cls_w * vals, minlength=num_classes
+        )
+        return sums / weight_sums
+
+    def project_affine(mat: np.ndarray) -> np.ndarray:
+        out = symmetrize(mat)
+        if num_classes:
+            means = class_means(out)
+            out[cls_rows, cls_cols] = means[cls_ids]
+            out[cls_cols, cls_rows] = means[cls_ids]
+        out[zr, zc] = 0.0
+        out[zc, zr] = 0.0
+        out[0, 0] = corner_value
+        return out
+
+    z = np.eye(n) * min(corner_value, diagonal_cap)
+    u = np.zeros((n, n))
+    primal_res = dual_res = float("inf")
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        # X-step: the augmented-Lagrangian quadratic is isotropic, so
+        # the exact minimizer is the affine projection of z - u + C/rho.
+        x = project_affine(z - u + c / rho)
+        z_prev = z
+        z = project_psd(x + u)
+        u = u + x - z
+        primal_res = float(np.linalg.norm(x - z))
+        dual_res = float(rho * np.linalg.norm(z - z_prev))
+        if primal_res < tolerance and dual_res < tolerance:
+            break
+
+    converged = primal_res < tolerance and dual_res < tolerance
+    _metrics.get_registry().counter("admm.iterations").inc(iteration)
+    objective = float(np.sum(c * z))
+    upper = _partition_dual_bound(
+        c,
+        -rho * symmetrize(u),
+        class_means,
+        (cls_rows, cls_cols, cls_ids),
+        (zr, zc),
+        corner_value=corner_value,
+        diagonal_cap=diagonal_cap,
+    )
+    return SDPResult(
+        matrix=z,
+        objective=objective,
+        upper_bound=upper,
+        iterations=iteration,
+        primal_residual=primal_res,
+        dual_residual=dual_res,
+        converged=converged,
+    )
+
+
+def _partition_dual_bound(
+    cost: np.ndarray,
+    slack: np.ndarray,
+    class_means,
+    class_index,
+    zero_index,
+    *,
+    corner_value: float,
+    diagonal_cap: float,
+) -> float:
+    """Rigorous upper bound from the partition SDP's repaired dual.
+
+    ``M = C + S`` (with ``S = -rho U`` the ADMM dual iterate) is split
+    into a part lying exactly in the span of the constraint matrices
+    and a residual ``R`` (the weighted class means plus everything on
+    unconstrained entries). For any feasible ``X`` with
+    ``diag(X) <= diagonal_cap``::
+
+        <C, X> = <M - R, X> - <S - R, X>
+               <= corner_value * M[0, 0] + max(0, -lambda_min(S - R)) * n * cap
+
+    because ``M - R`` is a combination of constraint matrices whose
+    only inhomogeneous term is the corner, and ``<S - R, X>`` is
+    bounded below by the most negative eigenvalue times the trace.
+    """
+    n = cost.shape[0]
+    m = cost + slack
+    residual = np.zeros_like(m)
+    cls_rows, cls_cols, cls_ids = class_index
+    if cls_rows.size:
+        means = class_means(m)
+        residual[cls_rows, cls_cols] = means[cls_ids]
+        residual[cls_cols, cls_rows] = means[cls_ids]
+    constrained = np.zeros(m.shape, dtype=bool)
+    constrained[cls_rows, cls_cols] = True
+    constrained[cls_cols, cls_rows] = True
+    zr, zc = zero_index
+    constrained[zr, zc] = True
+    constrained[zc, zr] = True
+    constrained[0, 0] = True
+    residual[~constrained] = m[~constrained]
+    repaired = slack - residual
+    min_eig = float(np.linalg.eigvalsh(symmetrize(repaired)).min())
+    shift = max(0.0, -min_eig)
+    return float(corner_value * m[0, 0] + shift * n * diagonal_cap)
 
 
 def _repair_feasible(z: np.ndarray, diagonal: np.ndarray) -> np.ndarray:

@@ -170,7 +170,10 @@ class TestNPA1:
         bound, _ = npa1_upper_bound(game)
         assert bound == pytest.approx(1.0, abs=1e-6)
 
-    def test_rejects_non_binary_outputs(self):
+    def test_non_binary_outputs_route_through_general_form(self):
+        # Used to raise GameError; now routes through the projector-form
+        # level-1 relaxation. Always-win is classically perfect, so the
+        # bound must land at ~1 and not above.
         game = TwoPlayerGame(
             name="ternary",
             num_inputs_a=1,
@@ -180,8 +183,8 @@ class TestNPA1:
             distribution=np.ones((1, 1)),
             predicate=lambda x, y, a, b: True,
         )
-        with pytest.raises(GameError):
-            npa1_upper_bound(game)
+        bound, _ = npa1_upper_bound(game)
+        assert bound == pytest.approx(1.0, abs=1e-6)
 
     def test_matching_game_bound(self):
         # Win iff a == b irrespective of inputs: classically perfect, so

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the see-saw/NPA pipeline.
+
+Invariants on *random* general games, not just the known corpus:
+
+1. the see-saw's output is a genuinely certified bound — the behavior
+   is valid and normalized and the reported value IS
+   ``game.value_of_behavior(behavior)``;
+2. restart determinism — restart ``r`` is bit-identical in any run
+   with ``restarts > r`` (the fresh-substream contract), so the best
+   value is monotone in the restart budget;
+3. symmetry — relabeling outputs or transposing the two players moves
+   the found behavior covariantly: the certified value is unchanged;
+4. soundness of the upper bound — the NPA relaxation can never cut
+   below the exact classical value (classical strategies are quantum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import (
+    NonlocalGame,
+    npa_upper_bound,
+    seesaw_lower_bound,
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+alphabet = st.integers(min_value=2, max_value=3)
+
+
+def random_game(seed: int, nx: int, ny: int, na: int, nb: int) -> NonlocalGame:
+    """A random general game with fractional predicate values."""
+    rng = np.random.default_rng(seed)
+    prob = rng.random((nx, ny)) + 0.05
+    prob /= prob.sum()
+    pred = rng.random((na, nb, nx, ny))
+    return NonlocalGame(
+        name=f"random-{seed}-{nx}{ny}{na}{nb}",
+        prob_mat=prob,
+        pred_mat=pred,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds, nx=alphabet, ny=alphabet, na=alphabet, nb=alphabet)
+def test_seesaw_value_is_certified_by_its_behavior(seed, nx, ny, na, nb):
+    game = random_game(seed, nx, ny, na, nb)
+    result = seesaw_lower_bound(game, restarts=2, iterations=40)
+    behavior = result.behavior
+    assert behavior.shape == (nx, ny, na, nb)
+    assert (behavior >= 0.0).all()
+    sums = behavior.sum(axis=(2, 3))
+    assert np.allclose(sums, 1.0, atol=1e-12)
+    # The reported value is *defined* as the behavior's win probability.
+    assert result.value == float(game.value_of_behavior(behavior))
+    assert 0.0 <= result.value <= 1.0 + 1e-9
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, na=alphabet, nb=alphabet)
+def test_restarts_are_a_deterministic_monotone_prefix(seed, na, nb):
+    game = random_game(seed, 2, 2, na, nb)
+    short = seesaw_lower_bound(game, restarts=2, iterations=30)
+    long = seesaw_lower_bound(game, restarts=4, iterations=30)
+    # Substream contract: the first restarts replay bit-identically.
+    assert long.restart_values[:2] == short.restart_values
+    # More restarts can only improve the best raw objective.
+    assert max(long.restart_values) >= max(short.restart_values)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, nx=alphabet, ny=alphabet, na=alphabet, nb=alphabet)
+def test_transpose_invariance(seed, nx, ny, na, nb):
+    """Swapping the players moves the behavior covariantly."""
+    game = random_game(seed, nx, ny, na, nb)
+    transposed = NonlocalGame(
+        name=game.name + "-T",
+        prob_mat=game.prob_mat.T,
+        pred_mat=game.pred_mat.transpose(1, 0, 3, 2),
+    )
+    result = seesaw_lower_bound(game, restarts=2, iterations=40)
+    moved = result.behavior.transpose(1, 0, 3, 2)
+    # Same sum up to summation order (1 ulp-scale reassociation).
+    assert float(transposed.value_of_behavior(moved)) == pytest.approx(
+        result.value, abs=1e-12
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, nx=alphabet, ny=alphabet, na=alphabet, nb=alphabet)
+def test_output_relabeling_invariance(seed, nx, ny, na, nb):
+    """Permuting output labels moves the behavior covariantly."""
+    game = random_game(seed, nx, ny, na, nb)
+    rng = np.random.default_rng(seed + 1)
+    perm_a = rng.permutation(na)
+    perm_b = rng.permutation(nb)
+    relabeled = NonlocalGame(
+        name=game.name + "-relabel",
+        prob_mat=game.prob_mat,
+        pred_mat=game.pred_mat[np.ix_(perm_a, perm_b)],
+    )
+    result = seesaw_lower_bound(game, restarts=2, iterations=40)
+    moved = result.behavior[:, :, perm_a][:, :, :, perm_b]
+    # pred'[a', b'] = pred[perm_a[a'], perm_b[b']] pairs with
+    # p'[a', b'] = p[perm_a[a'], perm_b[b']]: same win probability up
+    # to summation order (1 ulp-scale reassociation).
+    assert float(relabeled.value_of_behavior(moved)) == pytest.approx(
+        result.value, abs=1e-12
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds, nx=alphabet, ny=alphabet, na=alphabet, nb=alphabet)
+def test_npa_never_below_exact_classical(seed, nx, ny, na, nb):
+    game = random_game(seed, nx, ny, na, nb)
+    classical = game.classical_value()
+    upper, _ = npa_upper_bound(game, tolerance=1e-8)
+    assert upper >= classical - 1e-6
