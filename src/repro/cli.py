@@ -10,6 +10,8 @@ Usage::
         --storage-us 50
     python -m repro values --p-exclusive 0.5 --vertices 5 --seed 7
     python -m repro regime --deadlines-ms 0.3 0.7 2.5 --distances-km 50 100
+    python -m repro resume              # list interrupted journaled sweeps
+    python -m repro resume <run key>    # restart one where it left off
 
 Each subcommand prints the same tables the benchmark harness produces.
 """
@@ -69,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="array-kernel backend for the hot kernels; sets "
         "REPRO_BACKEND so sweep workers inherit it (default: "
         "REPRO_BACKEND, else auto — numba when importable, else numpy)",
+    )
+    telemetry.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the crash-safe sweep checkpoint journal "
+        "(<cache dir>/journal/<run_key>.jsonl) for commands that sweep "
+        "through SweepRunner; journaled sweeps resume with "
+        "'python -m repro resume' after an interruption",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -211,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
     regime.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full cell records to PATH")
 
+    resume = sub.add_parser(
+        "resume",
+        help="list interrupted journaled sweeps, or resume one by run key",
+        parents=[telemetry],
+    )
+    resume.add_argument(
+        "run_key",
+        nargs="?",
+        default=None,
+        help="journal run key (or unique prefix) to resume; omit to "
+        "list every journaled sweep under the cache directory",
+    )
+    resume.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the resumed sweep "
+                        "(resume is bit-identical at any jobs count)")
+
     mermin = sub.add_parser(
         "mermin",
         help="multiplayer Mermin game value table",
@@ -312,6 +338,22 @@ def _fig3_point(config: dict, seed: int) -> float:
     )
 
 
+def _fig3_argv(args: argparse.Namespace) -> list[str]:
+    """Rebuild a ``fig3`` argv from parsed args (journaled for resume)."""
+    argv = [
+        "fig3",
+        "--games", str(args.games),
+        "--points", *(str(p) for p in args.points),
+        "--vertices", str(args.vertices),
+        "--seed", str(args.seed),
+        "--method", args.method,
+        "--game-family", args.game_family,
+    ]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return argv
+
+
 def _cmd_fig3(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
     from repro.exec import SweepRunner
@@ -321,6 +363,8 @@ def _cmd_fig3(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         cache=not args.no_cache,
         label="fig3",
+        journal=not getattr(args, "no_journal", False),
+        journal_meta={"argv": _fig3_argv(args)},
     )
     report = runner.run(
         [
@@ -596,6 +640,82 @@ def _cmd_regime(args: argparse.Namespace) -> None:
         print(f"cell records written to {args.json}")
 
 
+def _cmd_resume(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    from repro.analysis import format_table
+    from repro.exec import list_journals
+
+    states = list_journals()
+    if args.run_key is None:
+        if not states:
+            print("no journaled sweeps found (nothing to resume)")
+            return
+        rows = []
+        for state in states:
+            header = state.header or {}
+            total = state.total
+            done = state.completed
+            status = (
+                "complete"
+                if total is not None and done >= total
+                else "interrupted"
+            )
+            meta = header.get("meta") or {}
+            command = " ".join(meta.get("argv", [])) or "-"
+            rows.append(
+                [
+                    header.get("run_key", "?"),
+                    header.get("label", "?"),
+                    f"{done}/{total if total is not None else '?'}",
+                    status,
+                    command,
+                ]
+            )
+        print(
+            format_table(
+                ["run key", "label", "points", "status", "command"],
+                rows,
+                title="Journaled sweeps (python -m repro resume <run key>)",
+            )
+        )
+        return
+    matches = [
+        state
+        for state in states
+        if state.header is not None
+        and str(state.header.get("run_key", "")).startswith(args.run_key)
+    ]
+    if not matches:
+        raise SystemExit(
+            f"no journaled sweep matches run key {args.run_key!r} "
+            "(run 'python -m repro resume' to list them)"
+        )
+    if len(matches) > 1:
+        keys = ", ".join(m.header["run_key"] for m in matches)
+        raise SystemExit(
+            f"run key prefix {args.run_key!r} is ambiguous: {keys}"
+        )
+    header = matches[0].header
+    meta = header.get("meta") or {}
+    argv = meta.get("argv")
+    if not argv:
+        raise SystemExit(
+            f"journal {header.get('run_key')} has no recorded command "
+            "(it was not started from the CLI); resume it by re-running "
+            "the original sweep — journaled points replay automatically"
+        )
+    if args.jobs is not None:
+        argv = [*argv, "--jobs", str(args.jobs)]
+    done = matches[0].completed
+    total = matches[0].total
+    print(
+        f"resuming [{header.get('label')}] {header.get('run_key')}: "
+        f"{done}/{total} points journaled; re-running: {' '.join(argv)}"
+    )
+    _dispatch(parser, parser.parse_args(argv))
+
+
 def _cmd_mermin(args: argparse.Namespace) -> None:
     from repro.analysis import format_table
     from repro.games import (
@@ -727,6 +847,8 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         _cmd_values(args)
     elif args.command == "regime":
         _cmd_regime(args)
+    elif args.command == "resume":
+        _cmd_resume(parser, args)
     elif args.command == "mermin":
         _cmd_mermin(args)
     elif args.command == "groups":

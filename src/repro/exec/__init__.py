@@ -1,9 +1,13 @@
-"""Parallel seeded-experiment execution: runner, report, result cache.
+"""Fault-tolerant parallel seeded-experiment execution.
 
 The paper's headline figures are Monte-Carlo sweeps over (config, seed)
 points; this subsystem executes those points over a process pool with a
 content-addressed on-disk cache, while guaranteeing bit-identical
-results between parallel and serial runs of the same points.
+results between parallel and serial runs of the same points. Sweeps are
+resumable (per-point CRC-framed checkpoint journal), and a worker fault
+plane (per-point timeout, deterministic bounded retries,
+``BrokenProcessPool`` recovery) lets long runs degrade gracefully
+instead of aborting.
 """
 
 from repro.exec.cache import (
@@ -13,16 +17,33 @@ from repro.exec.cache import (
     cache_key,
     stable_fingerprint,
 )
-from repro.exec.runner import PointResult, RunReport, SweepRunner, resolve_jobs
+from repro.exec.journal import (
+    SweepJournal,
+    default_journal_dir,
+    list_journals,
+)
+from repro.exec.runner import (
+    PointFailure,
+    PointResult,
+    PointTimeoutError,
+    RunReport,
+    SweepRunner,
+    resolve_jobs,
+)
 
 __all__ = [
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
+    "PointFailure",
     "PointResult",
+    "PointTimeoutError",
     "ResultCache",
     "RunReport",
+    "SweepJournal",
     "SweepRunner",
     "cache_key",
+    "default_journal_dir",
+    "list_journals",
     "resolve_jobs",
     "stable_fingerprint",
 ]

@@ -16,11 +16,13 @@ that matters.
 
 from __future__ import annotations
 
+import binascii
 import functools
 import hashlib
 import inspect
 import os
 import pickle
+import struct
 import tempfile
 import types
 from collections.abc import Mapping, Sequence, Set
@@ -61,7 +63,10 @@ __all__ = [
 #: ``game-family`` axis and non-XOR points run the see-saw/NPA
 #: cascade; pre-cascade entries must not replay against the new
 #: config shape.
-CACHE_VERSION = 7
+#: v8: crash-safe cache framing — entries are now ``RPC1`` + CRC32 +
+#: pickle (verified on read); unframed pre-v8 files would read as
+#: corrupt, so their keys must never be looked up.
+CACHE_VERSION = 8
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
@@ -204,12 +209,43 @@ def cache_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+#: On-disk entry framing: magic + CRC32 of the pickle payload. The CRC
+#: is verified on every read, so a half-written or bit-flipped entry is
+#: detected as corrupt instead of being half-unpickled.
+_MAGIC = b"RPC1"
+_HEADER = struct.Struct(">4sI")
+
+
+def _frame_entry(value) -> bytes:
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, binascii.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+class CorruptEntryError(Exception):
+    """A cache file whose frame (magic/CRC) does not verify."""
+
+
+def _unframe_entry(raw: bytes) -> bytes:
+    if len(raw) < _HEADER.size:
+        raise CorruptEntryError("truncated header")
+    magic, crc = _HEADER.unpack_from(raw)
+    payload = raw[_HEADER.size:]
+    if magic != _MAGIC:
+        raise CorruptEntryError("bad magic")
+    if binascii.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptEntryError("payload CRC mismatch")
+    return payload
+
+
 class ResultCache:
     """Pickle-backed, content-addressed result store.
 
-    Entries are written atomically (temp file + :func:`os.replace`) so a
-    crashed or concurrent writer can never leave a torn entry; unreadable
-    entries are treated as misses.
+    Crash-safe by construction: entries are framed with a CRC32 that is
+    verified on every read, written to a temp file, flushed to disk
+    (``fsync``), and published atomically via :func:`os.replace` — so
+    neither a SIGKILLed writer, a torn disk, nor a concurrent sweep on
+    a shared cache directory can ever surface a partial pickle to a
+    reader. Unreadable entries of any kind are treated as misses.
     """
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
@@ -222,20 +258,31 @@ class ResultCache:
     def get(self, key: str) -> tuple[bool, object]:
         """Return ``(hit, value)``; corrupt or missing entries miss.
 
-        "Unreadable" covers more than torn bytes: a stale entry whose
-        pickle references a class that has since been renamed, moved, or
-        deleted raises ``ImportError``/``AttributeError`` from the
-        unpickler, and torn protocol frames can surface as
-        ``IndexError``/``ValueError``. All of these are clean misses —
-        counted under ``cache.stale`` (entry present but unloadable) so
-        refactor fallout is visible next to plain ``cache.miss``.
+        "Unreadable" splits into two observable classes, both clean
+        misses. Frame-level damage — truncation, bit flips, zero-length
+        files, anything failing the magic/CRC check — counts under
+        ``cache.corrupt``. A frame that verifies but will not unpickle
+        (a stale entry referencing a class since renamed, moved, or
+        deleted raises ``ImportError``/``AttributeError``; exotic torn
+        protocol streams surface ``IndexError``/``ValueError``) counts
+        under ``cache.stale``, so refactor fallout is visible next to
+        disk damage. Either way ``cache.stale`` also tallies "entry
+        present but unloadable" as the umbrella count.
         """
         path = self._path(key)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
+            raw = path.read_bytes()
+        except OSError:
+            get_registry().counter("cache.miss").inc()
+            return False, None
+        try:
+            value = pickle.loads(_unframe_entry(raw))
+        except CorruptEntryError:
+            get_registry().counter("cache.corrupt").inc()
+            get_registry().counter("cache.stale").inc()
+            get_registry().counter("cache.miss").inc()
+            return False, None
         except (
-            OSError,
             pickle.UnpicklingError,
             EOFError,
             AttributeError,
@@ -243,22 +290,35 @@ class ResultCache:
             IndexError,
             ValueError,
         ):
-            if path.exists():
-                get_registry().counter("cache.stale").inc()
+            get_registry().counter("cache.stale").inc()
             get_registry().counter("cache.miss").inc()
             return False, None
         get_registry().counter("cache.hit").inc()
         return True, value
 
-    def put(self, key: str, value) -> None:
-        """Store ``value`` under ``key`` atomically."""
-        get_registry().counter("cache.put").inc()
-        path = self._path(key)
+    def _write_tmp(self, path: Path, value) -> str:
+        """Frame and durably write ``value`` to a temp file; return it."""
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_frame_entry(value))
+                fh.flush()
+                os.fsync(fh.fileno())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return tmp
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` atomically (last writer wins)."""
+        get_registry().counter("cache.put").inc()
+        path = self._path(key)
+        tmp = self._write_tmp(path, value)
+        try:
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -266,6 +326,36 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def put_if_absent(self, key: str, value) -> bool:
+        """Compare-and-swap store: publish ``value`` only if ``key`` is
+        still absent. Returns ``True`` when this call won the race.
+
+        The swap uses :func:`os.link`, which fails atomically when the
+        destination exists — so concurrent sweeps sharing a cache
+        directory each keep exactly one complete entry per key and
+        never interleave partial writes.
+        """
+        path = self._path(key)
+        tmp = self._write_tmp(path, value)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Filesystems without hard links (rare): fall back to the
+            # atomic-replace path; both racers wrote complete frames.
+            won = not path.exists()
+            os.replace(tmp, path)
+            get_registry().counter("cache.put").inc()
+            return won
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        get_registry().counter("cache.put").inc()
+        return True
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -1,4 +1,4 @@
-"""The parallel seeded-experiment execution engine.
+"""The fault-tolerant parallel seeded-experiment execution engine.
 
 :class:`SweepRunner` fans (config, seed) points out over a
 :class:`~concurrent.futures.ProcessPoolExecutor`, consults a
@@ -9,27 +9,62 @@ engine guarantees parallel and serial runs of the same points are
 bit-identical: every point is computed by the same pure function of
 ``(config, seed)``, each in a fresh context, and results are returned
 in submission order regardless of completion order.
+
+Long sweeps survive faults on three planes:
+
+- **Checkpoint/resume** — with ``journal=True`` every finished point is
+  appended (fsync'd, CRC-framed) to
+  ``<cache dir>/journal/<run_key>.jsonl`` the moment it completes; a
+  re-invocation of the same points replays journaled values instead of
+  recomputing, so a SIGKILL at 50%% completion costs at most the point
+  in flight. ``python -m repro resume`` lists and restarts interrupted
+  CLI sweeps.
+- **Worker fault plane** — a per-point ``timeout`` (SIGALRM-enforced
+  inside the worker), bounded ``retries`` with exponential backoff
+  whose jitter comes from the point's own
+  :class:`~repro.sim.RandomStreams` substream (retries are
+  deterministic), and a ``BrokenProcessPool`` recovery path that
+  rebuilds the executor and requeues in-flight points. With
+  ``failures="record"``, exhausted points degrade to structured
+  :class:`PointFailure` entries on the report instead of aborting the
+  sweep.
+- **Crash-safe cache** — results are published per point through the
+  CRC-verified, atomic :meth:`ResultCache.put_if_absent`, so concurrent
+  sweeps on a shared cache directory never interleave partial writes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import pickle
+import signal
 import sys
+import threading
 import time
 import warnings
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.exec import journal as _journal
 from repro.exec.cache import ResultCache, cache_key, stable_fingerprint
 from repro.obs import manifest as _manifest
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 
-__all__ = ["PointResult", "RunReport", "SweepRunner", "resolve_jobs"]
+__all__ = [
+    "PointFailure",
+    "PointResult",
+    "PointTimeoutError",
+    "RunReport",
+    "SweepRunner",
+    "resolve_jobs",
+]
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -51,6 +86,10 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+class PointTimeoutError(Exception):
+    """A sweep point overran its per-point ``timeout``."""
+
+
 @dataclass(frozen=True)
 class PointResult:
     """Outcome of one (config, seed) sweep point.
@@ -58,10 +97,15 @@ class PointResult:
     Attributes:
         config: the point's configuration, as submitted.
         seed: the point's root seed.
-        value: whatever the work function returned.
+        value: whatever the work function returned (``None`` for a
+            failed point — see :attr:`failed`).
         wall_seconds: compute time for this point (cache-lookup time
-            when ``cached``).
+            when ``cached``; 0.0 when replayed from a journal).
         cached: whether the value came from the result cache.
+        resumed: whether the value replayed from a sweep journal.
+        failed: whether the point exhausted its retries (the matching
+            :class:`PointFailure` on the report has the details).
+        retries: retry attempts this point consumed before settling.
     """
 
     config: object
@@ -69,6 +113,30 @@ class PointResult:
     value: object
     wall_seconds: float
     cached: bool
+    resumed: bool = False
+    failed: bool = False
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A point that exhausted its fault budget (``failures="record"``).
+
+    Attributes:
+        index: the point's submission index.
+        config / seed: the point as submitted.
+        error: ``"ExceptionType: message"`` of the final attempt, or a
+            description of the worker's death.
+        retries: retry attempts consumed before giving up.
+        wall_seconds: total time spent on the point across attempts.
+    """
+
+    index: int
+    config: object
+    seed: int
+    error: str
+    retries: int = 0
+    wall_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -86,6 +154,12 @@ class RunReport:
             when every point replayed from cache). Utilization is
             measured against this window, not ``wall_clock``, so a
             warm-cache run does not dilute it toward zero.
+        points_resumed: points replayed from the sweep journal.
+        points_failed: structured failures for points that exhausted
+            their retry budget (empty unless ``failures="record"``).
+        retries: total retry attempts consumed across all points.
+        run_key: content-addressed identity of this point set (names
+            the journal file), when journaling was on.
         manifest: provenance record for this run (never part of
             equality — parallel and serial reports of the same points
             stay equal).
@@ -97,17 +171,23 @@ class RunReport:
     wall_clock: float
     cache_hits: int
     compute_wall_clock: float = 0.0
+    points_resumed: int = 0
+    points_failed: tuple[PointFailure, ...] = ()
+    retries: int = 0
+    run_key: str | None = field(default=None, compare=False)
     manifest: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def points_completed(self) -> int:
-        """Total points this run produced (computed + cached)."""
+        """Total points this run produced (computed + cached + resumed)."""
         return len(self.points)
 
     @property
     def points_computed(self) -> int:
-        """Points actually computed (not replayed from the cache)."""
-        return self.points_completed - self.cache_hits
+        """Points actually computed (not cache- or journal-replayed)."""
+        return (
+            self.points_completed - self.cache_hits - self.points_resumed
+        )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -119,7 +199,11 @@ class RunReport:
     @property
     def busy_seconds(self) -> float:
         """Summed per-point compute time across workers."""
-        return sum(p.wall_seconds for p in self.points if not p.cached)
+        return sum(
+            p.wall_seconds
+            for p in self.points
+            if not p.cached and not p.resumed
+        )
 
     @property
     def cache_seconds(self) -> float:
@@ -148,45 +232,169 @@ class RunReport:
         return min(1.0, self.busy_seconds / capacity)
 
     def values(self) -> list:
-        """The per-point values, in submission order."""
+        """The per-point values, in submission order (``None`` for a
+        failed point)."""
         return [p.value for p in self.points]
 
     def summary(self) -> str:
         """One-line human summary of the run."""
+        extras = ""
+        if self.points_resumed:
+            extras += f", {self.points_resumed} resumed"
+        if self.points_failed:
+            extras += f", {len(self.points_failed)} FAILED"
+        if self.retries:
+            extras += f", {self.retries} retries"
         return (
             f"[sweep:{self.label}] {self.points_completed} points "
-            f"({self.points_computed} computed, {self.cache_hits} cached) in "
+            f"({self.points_computed} computed, {self.cache_hits} cached"
+            f"{extras}) in "
             f"{self.wall_clock:.2f}s with {self.jobs} worker(s); "
             f"busy {self.busy_seconds:.2f}s, "
             f"utilization {self.worker_utilization:.0%}"
         )
 
 
-# The work function for the current run. Set in the parent before the
-# executor forks so closures (unpicklable) ride into workers by memory
-# inheritance; spawn-based platforms receive a pickled copy through the
-# pool initializer instead.
+@dataclass(frozen=True)
+class _FaultPlan:
+    """The per-point fault budget, shipped to every worker."""
+
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+    failures: str = "raise"
+
+
+# The work function and fault plan for the current run. Set in the
+# parent before the executor forks so closures (unpicklable) ride into
+# workers by memory inheritance; spawn-based platforms receive a pickled
+# copy through the pool initializer instead.
 _WORKER_FN: Callable | None = None
+_WORKER_FAULT: _FaultPlan = _FaultPlan()
 
 
-def _install_worker_fn(payload) -> None:
-    global _WORKER_FN
+def _install_worker_fn(payload, fault: _FaultPlan = _FaultPlan()) -> None:
+    global _WORKER_FN, _WORKER_FAULT
     _WORKER_FN = pickle.loads(payload) if isinstance(payload, bytes) else payload
+    _WORKER_FAULT = fault
+
+
+@contextmanager
+def _point_deadline(timeout: float | None):
+    """Raise :class:`PointTimeoutError` if the block overruns ``timeout``.
+
+    Enforced with ``SIGALRM``, so it fires even when the point is stuck
+    in a C extension. Platforms/threads without alarm support (Windows,
+    non-main threads) run the block unguarded — the retry plane still
+    covers crashes and exceptions there.
+    """
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(f"point exceeded timeout={timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _backoff_delay(seed: int, attempt: int, backoff: float) -> float:
+    """Deterministic exponential backoff with jitter.
+
+    The jitter draws from a :class:`~repro.sim.RandomStreams` substream
+    named by the point's seed and the attempt number — never from the
+    point's own work streams — so a retried sweep sleeps the same
+    schedule every run without perturbing the point's result.
+    """
+    from repro.sim import RandomStreams
+
+    rng = RandomStreams(int(seed)).fresh(f"exec.retry:attempt={attempt}")
+    return backoff * (2.0 ** attempt) * (0.5 + 0.5 * float(rng.random()))
+
+
+def _compute_with_faults(
+    fn: Callable, config, seed: int, fault: _FaultPlan, base_attempt: int = 0
+):
+    """Run ``fn(config, seed)`` under the fault plan.
+
+    Returns ``(value, attempts_consumed)``; raises the final attempt's
+    exception once the retry budget (shared with pool-level requeues via
+    ``base_attempt``) is exhausted.
+    """
+    registry = _metrics.get_registry()
+    attempt = base_attempt
+    while True:
+        try:
+            with _point_deadline(fault.timeout):
+                return fn(config, seed), attempt - base_attempt
+        except Exception as exc:
+            if isinstance(exc, PointTimeoutError):
+                registry.counter("exec.timeout.hits").inc()
+            else:
+                registry.counter("exec.retry.errors").inc()
+            if attempt >= fault.retries:
+                raise
+            delay = _backoff_delay(seed, attempt, fault.backoff)
+            registry.counter("exec.retry.attempts").inc()
+            registry.timer("exec.retry.backoff").observe(delay)
+            with _spans.span(
+                "exec.retry", seed=seed, attempt=attempt + 1
+            ):
+                time.sleep(delay)
+            attempt += 1
 
 
 def _execute_point(item):
-    index, config, seed = item
+    """Worker entry: one point under the installed fault plan.
+
+    Returns ``(index, status, value, wall, attempts, snapshot, error)``
+    with ``status`` of ``"ok"`` or ``"failed"``; a ``"failed"`` tuple is
+    only produced under ``failures="record"`` — in ``"raise"`` mode the
+    exhausted exception propagates through the future, preserving the
+    historical abort-the-sweep behavior.
+    """
+    index, config, seed, base_attempt = item
+    fault = _WORKER_FAULT
     start = time.perf_counter()
     # Capture the point's metrics in isolation so the parent can merge
     # exactly this point's delta — the invariant that per-worker counter
     # sums equal a serial run's counters over the same point set.
     with _metrics.capture() as point_registry:
-        value = _WORKER_FN(config, seed)
+        try:
+            value, attempts = _compute_with_faults(
+                _WORKER_FN, config, seed, fault, base_attempt
+            )
+        except Exception as exc:
+            if fault.failures != "record":
+                raise
+            point_registry.counter("sweep.points.failed").inc()
+            return (
+                index,
+                "failed",
+                None,
+                time.perf_counter() - start,
+                fault.retries - base_attempt,
+                point_registry.snapshot(),
+                f"{type(exc).__name__}: {exc}",
+            )
     return (
         index,
+        "ok",
         value,
         time.perf_counter() - start,
+        attempts,
         point_registry.snapshot(),
+        None,
     )
 
 
@@ -207,6 +415,26 @@ class SweepRunner:
         label: name used in progress lines and the report.
         progress: callable receiving progress strings. ``None`` enables
             stderr lines only when ``REPRO_SWEEP_PROGRESS`` is set.
+        timeout: per-point wall-clock budget in seconds (``None`` = no
+            limit). Overruns raise :class:`PointTimeoutError` inside the
+            point and feed the retry plane.
+        retries: how many times a failing point (exception, timeout, or
+            dead worker) is re-attempted before giving up. Retries are
+            deterministic: backoff jitter comes from the point's seed.
+        retry_backoff: base backoff in seconds; attempt ``k`` sleeps
+            ``backoff * 2**k * uniform(0.5, 1.0)``.
+        failures: ``"raise"`` (default) aborts the sweep when a point
+            exhausts its budget — the historical behavior — while
+            ``"record"`` degrades it to a :class:`PointFailure` on the
+            report and keeps sweeping.
+        journal: ``True`` to checkpoint every finished point to an
+            fsync'd CRC-framed journal keyed by :meth:`run_key`; a
+            re-run of the same points resumes instead of recomputing.
+        journal_dir: journal directory override (default
+            ``<cache root>/journal``).
+        journal_meta: plain-JSON metadata stored in the journal header
+            (the CLI records its argv here so ``python -m repro
+            resume`` can restart the sweep).
     """
 
     def __init__(
@@ -218,9 +446,24 @@ class SweepRunner:
         cache_dir: str | os.PathLike | None = None,
         label: str | None = None,
         progress: Callable[[str], None] | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        failures: str = "raise",
+        journal: bool = False,
+        journal_dir: str | os.PathLike | None = None,
+        journal_meta: dict | None = None,
     ) -> None:
         if not callable(fn):
             raise ConfigurationError("fn must be callable")
+        if failures not in ("raise", "record"):
+            raise ConfigurationError(
+                f"failures must be 'raise' or 'record', got {failures!r}"
+            )
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {timeout}")
         self._fn = fn
         self.jobs = resolve_jobs(jobs)
         self.label = label or getattr(fn, "__name__", "sweep")
@@ -230,6 +473,15 @@ class SweepRunner:
             self._cache = ResultCache(cache_dir)
         else:
             self._cache = None
+        self._fault = _FaultPlan(
+            timeout=timeout,
+            retries=int(retries),
+            backoff=float(retry_backoff),
+            failures=failures,
+        )
+        self._journal_enabled = bool(journal)
+        self._journal_dir = journal_dir
+        self._journal_meta = journal_meta
         if progress is not None:
             self._progress = progress
         elif os.environ.get("REPRO_SWEEP_PROGRESS", "").strip():
@@ -259,11 +511,31 @@ class SweepRunner:
             backend=resolve_backend_name(),
         )
 
-    def run(self, points: Iterable[tuple[object, int]]) -> RunReport:
+    def run_key(self, points: Iterable[tuple[object, int]]) -> str:
+        """Content-addressed identity of a point set under this runner.
+
+        Derived from the label and every point's cache key, so the same
+        sweep (same configs, seeds, work-function code, and backend)
+        maps to the same journal file across invocations.
+        """
+        keys = [self._key(config, int(seed)) for config, seed in points]
+        material = "|".join([self.label, *keys])
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def run(
+        self,
+        points: Iterable[tuple[object, int]],
+        *,
+        resume: bool = True,
+    ) -> RunReport:
         """Evaluate every (config, seed) point and return the report.
 
         Results come back in submission order. Worker exceptions
-        propagate to the caller after the pool is torn down. The
+        propagate to the caller after the pool is torn down (under the
+        default ``failures="raise"``; ``"record"`` degrades them to
+        :class:`PointFailure` entries instead). With journaling on,
+        ``resume=True`` (the default) replays any journaled completions
+        for this exact point set before computing the remainder. The
         report's manifest carries the run's merged metrics: serial and
         parallel runs of the same points produce identical counters.
         """
@@ -275,53 +547,123 @@ class SweepRunner:
         start = time.perf_counter()
         total = len(submitted)
         outcomes: list[PointResult | None] = [None] * total
-        pending: list[tuple[int, object, int]] = []
+        failures: list[PointFailure] = []
+        pending: list[tuple[int, object, int, int]] = []
         cache_hits = 0
+        resumed = 0
         compute_wall = 0.0
-        with _metrics.capture(propagate=True) as run_registry, _spans.span(
-            f"sweep.{self.label}", points=total
-        ):
-            run_registry.counter("sweep.runs").inc()
-            for index, (config, seed) in enumerate(submitted):
-                if self._cache is not None:
-                    lookup = time.perf_counter()
-                    hit, value = self._cache.get(self._key(config, seed))
-                    if hit:
-                        outcomes[index] = PointResult(
-                            config=config,
-                            seed=seed,
-                            value=value,
-                            wall_seconds=time.perf_counter() - lookup,
-                            cached=True,
+        keys: list[str] | None = None
+        run_key: str | None = None
+        journal: _journal.SweepJournal | None = None
+        if self._cache is not None or self._journal_enabled:
+            keys = [self._key(config, seed) for config, seed in submitted]
+        if self._journal_enabled:
+            material = "|".join([self.label, *keys])
+            run_key = hashlib.sha256(
+                material.encode("utf-8")
+            ).hexdigest()[:16]
+            journal = _journal.SweepJournal(run_key, self._journal_dir)
+        try:
+            with _metrics.capture(propagate=True) as run_registry, _spans.span(
+                f"sweep.{self.label}", points=total
+            ):
+                run_registry.counter("sweep.runs").inc()
+                journal_state: _journal.JournalState | None = None
+                if journal is not None and resume:
+                    journal_state = journal.replay()
+                    journal.repair(journal_state)
+                for index, (config, seed) in enumerate(submitted):
+                    if self._cache is not None:
+                        lookup = time.perf_counter()
+                        hit, value = self._cache.get(keys[index])
+                        if hit:
+                            outcomes[index] = PointResult(
+                                config=config,
+                                seed=seed,
+                                value=value,
+                                wall_seconds=time.perf_counter() - lookup,
+                                cached=True,
+                            )
+                            cache_hits += 1
+                            run_registry.counter("sweep.points.cached").inc()
+                            self._emit(
+                                f"[sweep:{self.label}] point "
+                                f"{index + 1}/{total} seed={seed} cached"
+                            )
+                            continue
+                    if journal_state is not None:
+                        replayed = self._replay_point(
+                            journal_state, keys[index], config, seed
                         )
-                        cache_hits += 1
-                        run_registry.counter("sweep.points.cached").inc()
-                        self._emit(
-                            f"[sweep:{self.label}] point {index + 1}/{total} "
-                            f"seed={seed} cached"
-                        )
-                        continue
-                pending.append((index, config, seed))
-
-            if pending:
-                compute_start = time.perf_counter()
-                jobs = min(self.jobs, len(pending))
-                if jobs == 1:
-                    self._run_serial(pending, outcomes, total)
-                else:
-                    self._run_parallel(pending, outcomes, total, jobs)
-                compute_wall = time.perf_counter() - compute_start
-
-            if self._cache is not None:
-                for index, config, seed in pending:
-                    self._cache.put(
-                        self._key(config, seed), outcomes[index].value
+                        if replayed is not None:
+                            outcomes[index] = replayed
+                            resumed += 1
+                            run_registry.counter("sweep.points.resumed").inc()
+                            if self._cache is not None:
+                                # The cache missed but the journal has
+                                # the value: repopulate (cache cleared
+                                # or torn between crash and resume).
+                                self._cache.put_if_absent(
+                                    keys[index], replayed.value
+                                )
+                            self._emit(
+                                f"[sweep:{self.label}] point "
+                                f"{index + 1}/{total} seed={seed} "
+                                "resumed from journal"
+                            )
+                            continue
+                    pending.append((index, config, seed, 0))
+                if journal is not None:
+                    journal.write_header(
+                        label=self.label,
+                        total=total,
+                        meta=self._journal_meta,
                     )
-            metrics_snapshot = run_registry.snapshot()
+                    # Checkpoint cache-served points too, so the journal
+                    # is a complete record of the sweep even when the
+                    # cache is later cleared or unavailable.
+                    for index, (config, seed) in enumerate(submitted):
+                        outcome = outcomes[index]
+                        if (
+                            outcome is None
+                            or not outcome.cached
+                            or (
+                                journal_state is not None
+                                and keys[index] in journal_state.points
+                            )
+                        ):
+                            continue
+                        journal.record_point(
+                            key=keys[index],
+                            index=index,
+                            seed=seed,
+                            status="done",
+                            value=outcome.value,
+                        )
+
+                if pending:
+                    compute_start = time.perf_counter()
+                    jobs = min(self.jobs, len(pending))
+                    sink = _RecordSink(
+                        self, outcomes, failures, journal, keys, total
+                    )
+                    sink.done = total - len(pending)
+                    if jobs == 1:
+                        self._run_serial(pending, sink)
+                    else:
+                        self._run_parallel(pending, sink, jobs)
+                    compute_wall = time.perf_counter() - compute_start
+                metrics_snapshot = run_registry.snapshot()
+        finally:
+            if journal is not None:
+                journal.close()
 
         from repro.backend import resolve_backend_name
 
         wall_clock = time.perf_counter() - start
+        retries_total = sum(
+            p.retries for p in outcomes if p is not None
+        ) + sum(f.retries for f in failures)
         run_manifest = _manifest.RunManifest.collect(
             "sweep",
             seeds=tuple(seed for _, seed in submitted),
@@ -331,6 +673,10 @@ class SweepRunner:
                 "jobs": self.jobs,
                 "points": total,
                 "cache": self._cache is not None,
+                "journal": self._journal_enabled,
+                "run_key": run_key,
+                "resumed": resumed,
+                "failed": len(failures),
             },
             cache_hits=cache_hits,
             cache_misses=len(pending),
@@ -344,6 +690,10 @@ class SweepRunner:
             wall_clock=wall_clock,
             cache_hits=cache_hits,
             compute_wall_clock=compute_wall,
+            points_resumed=resumed,
+            points_failed=tuple(failures),
+            retries=retries_total,
+            run_key=run_key,
             manifest=run_manifest,
         )
         registry = _metrics.get_registry()
@@ -354,48 +704,66 @@ class SweepRunner:
         self._emit(report.summary())
         return report
 
-    def _record(
+    def _replay_point(
         self,
-        outcomes: list,
-        item: tuple[int, object, int],
-        value,
-        wall: float,
-        snapshot: dict,
-        done: int,
-        total: int,
-    ) -> None:
-        index, config, seed = item
-        outcomes[index] = PointResult(
-            config=config, seed=seed, value=value, wall_seconds=wall,
+        state: _journal.JournalState,
+        key: str,
+        config,
+        seed: int,
+    ) -> PointResult | None:
+        """One point's journaled completion, or ``None`` to recompute."""
+        record = state.points.get(key)
+        if record is None or record.get("status") != "done":
+            return None
+        try:
+            value = _journal.decode_value(record["value"])
+        except Exception:
+            _metrics.get_registry().counter("journal.corrupt").inc()
+            return None
+        return PointResult(
+            config=config,
+            seed=seed,
+            value=value,
+            wall_seconds=0.0,
             cached=False,
-        )
-        registry = _metrics.get_registry()
-        registry.merge_snapshot(snapshot)
-        registry.counter("sweep.points.computed").inc()
-        registry.timer("sweep.point").observe(wall)
-        self._emit(
-            f"[sweep:{self.label}] point {done}/{total} "
-            f"seed={seed} {wall:.3f}s"
+            resumed=True,
         )
 
-    def _run_serial(self, pending, outcomes, total) -> None:
-        done = total - len(pending)
+    def _run_serial(self, pending, sink: "_RecordSink") -> None:
         for item in pending:
-            _, config, seed = item
+            index, config, seed, base_attempt = item
             begin = time.perf_counter()
+            error = None
+            # The sink must record OUTSIDE the point capture so its
+            # snapshot merge lands in the run registry, not the
+            # about-to-be-discarded point registry.
             with _metrics.capture() as point_registry, _spans.span(
                 "point", seed=seed
             ):
-                value = self._fn(config, seed)
-            done += 1
-            self._record(
-                outcomes,
+                try:
+                    value, attempts = _compute_with_faults(
+                        self._fn, config, seed, self._fault, base_attempt
+                    )
+                except Exception as exc:
+                    if self._fault.failures != "record":
+                        raise
+                    point_registry.counter("sweep.points.failed").inc()
+                    error = f"{type(exc).__name__}: {exc}"
+            if error is not None:
+                sink.record_failure(
+                    item,
+                    error,
+                    self._fault.retries - base_attempt,
+                    time.perf_counter() - begin,
+                    point_registry.snapshot(),
+                )
+                continue
+            sink.record_success(
                 item,
                 value,
                 time.perf_counter() - begin,
+                attempts,
                 point_registry.snapshot(),
-                done,
-                total,
             )
 
     def _make_executor(self, jobs: int) -> ProcessPoolExecutor:
@@ -412,10 +780,10 @@ class SweepRunner:
             max_workers=jobs,
             mp_context=ctx,
             initializer=_install_worker_fn,
-            initargs=(payload,),
+            initargs=(payload, self._fault),
         )
 
-    def _run_parallel(self, pending, outcomes, total, jobs) -> None:
+    def _run_parallel(self, pending, sink: "_RecordSink", jobs) -> None:
         try:
             executor = self._make_executor(jobs)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
@@ -425,28 +793,183 @@ class SweepRunner:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            self._run_serial(pending, outcomes, total)
+            self._run_serial(pending, sink)
             return
-        done = total - len(pending)
-        with executor:
-            futures = {
-                executor.submit(_execute_point, item): item
-                for item in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    index, value, wall, snapshot = future.result()
-                    done += 1
-                    self._record(
-                        outcomes,
-                        futures[future],
-                        value,
-                        wall,
-                        snapshot,
-                        done,
-                        total,
+        # index -> (config, seed); requeued with bumped base_attempt when
+        # a dead worker takes the pool (and every in-flight point) down.
+        queue: dict[int, tuple[int, object, int, int]] = {
+            item[0]: item for item in pending
+        }
+        registry = _metrics.get_registry()
+        while queue:
+            broken = False
+            with executor:
+                futures = {
+                    executor.submit(_execute_point, item): item
+                    for item in queue.values()
+                }
+                remaining = set(futures)
+                while remaining and not broken:
+                    finished, remaining = wait(
+                        remaining, return_when=FIRST_COMPLETED
                     )
+                    for future in finished:
+                        broken |= not self._consume_future(
+                            future, futures[future], queue, sink
+                        )
+                if broken:
+                    # Drain whatever completed before the pool died; the
+                    # rest stays queued for the rebuilt executor.
+                    for future in remaining:
+                        if future.done() and not future.cancelled():
+                            self._consume_future(
+                                future, futures[future], queue, sink
+                            )
+            if not queue:
+                return
+            if not broken:  # pragma: no cover - queue empties with pool up
+                return
+            registry.counter("exec.pool.rebuilds").inc()
+            self._emit(
+                f"[sweep:{self.label}] worker pool died; rebuilding and "
+                f"requeuing {len(queue)} point(s)"
+            )
+            # The points that were in flight share the blame: each
+            # requeue consumes one retry from their budget.
+            exhausted = []
+            for index, (_, config, seed, base_attempt) in queue.items():
+                if base_attempt >= self._fault.retries:
+                    if self._fault.failures != "record":
+                        raise BrokenProcessPool(
+                            "sweep worker died and the retry budget is "
+                            f"exhausted (point index {index}, seed {seed})"
+                        )
+                    registry.counter("sweep.points.failed").inc()
+                    sink.record_failure(
+                        (index, config, seed, base_attempt),
+                        "BrokenProcessPool: worker process died",
+                        base_attempt,
+                        0.0,
+                        {},
+                    )
+                    exhausted.append(index)
+                else:
+                    queue[index] = (index, config, seed, base_attempt + 1)
+            for index in exhausted:
+                del queue[index]
+            if queue:
+                executor = self._make_executor(min(jobs, len(queue)))
+
+    def _consume_future(self, future, item, queue, sink: "_RecordSink") -> bool:
+        """Fold one finished future into the sink.
+
+        Returns ``False`` when the future died with the pool (the item
+        stays queued for the rebuilt executor); raises work-function
+        exceptions under ``failures="raise"``.
+        """
+        try:
+            index, status, value, wall, attempts, snapshot, error = (
+                future.result()
+            )
+        except BrokenProcessPool:
+            return False
+        del queue[item[0]]
+        if status == "ok":
+            sink.record_success(item, value, wall, attempts, snapshot)
+        else:
+            sink.record_failure(item, error, attempts, wall, snapshot)
+        return True
+
+
+class _RecordSink:
+    """Per-run writeback: outcomes, metrics, journal, cache, progress.
+
+    Every finished point flows through here — from the serial loop, the
+    pool's completion loop, and the pool-rebuild path — so checkpoint
+    appends and cache publication happen the moment a point settles, not
+    at the end of the sweep. That per-point durability is what makes a
+    SIGKILLed sweep resumable at the granularity of single points.
+    """
+
+    def __init__(
+        self, runner: SweepRunner, outcomes, failures, journal, keys, total
+    ) -> None:
+        self.runner = runner
+        self.outcomes = outcomes
+        self.failures = failures
+        self.journal = journal
+        self.keys = keys
+        self.total = total
+        self.done = 0
+
+    def record_success(self, item, value, wall, attempts, snapshot) -> None:
+        index, config, seed, _ = item
+        self.outcomes[index] = PointResult(
+            config=config,
+            seed=seed,
+            value=value,
+            wall_seconds=wall,
+            cached=False,
+            retries=attempts,
+        )
+        registry = _metrics.get_registry()
+        registry.merge_snapshot(snapshot)
+        registry.counter("sweep.points.computed").inc()
+        registry.timer("sweep.point").observe(wall)
+        if self.runner._cache is not None:
+            self.runner._cache.put_if_absent(self.keys[index], value)
+        if self.journal is not None:
+            self.journal.record_point(
+                key=self.keys[index],
+                index=index,
+                seed=seed,
+                status="done",
+                value=value,
+                wall_seconds=wall,
+                retries=attempts,
+            )
+        self.done += 1
+        self.runner._emit(
+            f"[sweep:{self.runner.label}] point {self.done}/{self.total} "
+            f"seed={seed} {wall:.3f}s"
+            + (f" ({attempts} retries)" if attempts else "")
+        )
+
+    def record_failure(self, item, error, attempts, wall, snapshot) -> None:
+        index, config, seed, _ = item
+        self.outcomes[index] = PointResult(
+            config=config,
+            seed=seed,
+            value=None,
+            wall_seconds=wall,
+            cached=False,
+            failed=True,
+            retries=attempts,
+        )
+        self.failures.append(
+            PointFailure(
+                index=index,
+                config=config,
+                seed=seed,
+                error=error,
+                retries=attempts,
+                wall_seconds=wall,
+            )
+        )
+        registry = _metrics.get_registry()
+        registry.merge_snapshot(snapshot)
+        if self.journal is not None:
+            self.journal.record_point(
+                key=self.keys[index],
+                index=index,
+                seed=seed,
+                status="failed",
+                wall_seconds=wall,
+                retries=attempts,
+                error=error,
+            )
+        self.done += 1
+        self.runner._emit(
+            f"[sweep:{self.runner.label}] point {self.done}/{self.total} "
+            f"seed={seed} FAILED after {attempts} retries: {error}"
+        )

@@ -157,3 +157,121 @@ class TestResultCache:
             assert cache.get(cache_key({"x": 3}, 0)) == (False, None)
         assert registry.counter("cache.stale").value == 0
         assert registry.counter("cache.miss").value == 1
+
+
+class TestCrashSafety:
+    """Frame-level corruption: every flavor of on-disk damage must read
+    as a clean miss under ``cache.corrupt`` — never an exception, never
+    a partial value."""
+
+    def _put_one(self, tmp_path, value="fine"):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"x": 9}, 0)
+        cache.put(key, value)
+        return cache, key, cache._path(key)
+
+    def _assert_corrupt_miss(self, cache, key):
+        from repro.obs import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as registry:
+            assert cache.get(key) == (False, None)
+        assert registry.counter("cache.corrupt").value == 1
+        assert registry.counter("cache.miss").value == 1
+        assert registry.counter("cache.hit").value == 0
+
+    def test_zero_length_entry(self, tmp_path):
+        cache, key, path = self._put_one(tmp_path)
+        path.write_bytes(b"")
+        self._assert_corrupt_miss(cache, key)
+
+    def test_truncated_entry(self, tmp_path):
+        cache, key, path = self._put_one(tmp_path, list(range(50)))
+        path.write_bytes(path.read_bytes()[:-7])
+        self._assert_corrupt_miss(cache, key)
+
+    def test_bitflipped_payload(self, tmp_path):
+        cache, key, path = self._put_one(tmp_path, list(range(50)))
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        self._assert_corrupt_miss(cache, key)
+
+    def test_bad_magic(self, tmp_path):
+        cache, key, path = self._put_one(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        self._assert_corrupt_miss(cache, key)
+
+    def test_reader_never_observes_partial_write(self, tmp_path):
+        """The paused-writer scenario behind the non-atomic-put bug: a
+        reader must see either nothing or a complete value, at EVERY
+        byte a lagging writer could have stopped at."""
+        cache, key, path = self._put_one(tmp_path, {"payload": "x" * 64})
+        raw = path.read_bytes()
+        for cut in range(len(raw)):
+            path.write_bytes(raw[:cut])
+            hit, value = cache.get(key)
+            assert not hit and value is None
+        path.write_bytes(raw)
+        assert cache.get(key) == (True, {"payload": "x" * 64})
+
+    def test_put_is_atomic_under_concurrent_reads(self, tmp_path):
+        """Overwrite one key from a writer thread while reading it hot:
+        every hit is one of the complete values, nothing in between."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = cache_key({"x": 10}, 0)
+        values = [{"generation": g, "blob": "y" * 256} for g in range(40)]
+        cache.put(key, values[0])
+
+        def writer():
+            for value in values[1:]:
+                cache.put(key, value)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        observed = []
+        while thread.is_alive():
+            hit, value = cache.get(key)
+            assert hit, "a complete entry must never vanish mid-overwrite"
+            observed.append(value["generation"])
+        thread.join()
+        assert all(0 <= g < len(values) for g in observed)
+        assert observed == sorted(observed)  # generations only move forward
+
+
+class TestPutIfAbsent:
+    def test_first_writer_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"cas": 1}, 0)
+        assert cache.put_if_absent(key, "first") is True
+        assert cache.put_if_absent(key, "second") is False
+        assert cache.get(key) == (True, "first")
+
+    def test_does_not_clobber_plain_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"cas": 2}, 0)
+        cache.put(key, "already-here")
+        assert cache.put_if_absent(key, "usurper") is False
+        assert cache.get(key) == (True, "already-here")
+
+    def test_multiprocess_hammer_single_winner(self, tmp_path):
+        """Four processes race put_if_absent on the same keys: exactly
+        one winner per key, and the stored value is the winner's."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from tests.exec._faultlib import hammer_put_if_absent
+
+        keys = [cache_key({"hammer": i}, 0) for i in range(24)]
+        specs = [(str(tmp_path), keys, worker) for worker in range(4)]
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            results = dict(pool.map(hammer_put_if_absent, specs))
+        cache = ResultCache(tmp_path)
+        for key in keys:
+            winners = [w for w, wins in results.items() if wins[key]]
+            assert len(winners) == 1, f"{len(winners)} winners for {key}"
+            hit, value = cache.get(key)
+            assert hit
+            assert value == f"writer-{winners[0]}:{key}"

@@ -1,0 +1,253 @@
+"""Checkpoint/resume correctness for journaled sweeps.
+
+Two headline guarantees from the issue:
+
+1. A sweep SIGKILLed mid-run (no cleanup, no atexit) resumes from its
+   journal, and the merged :class:`RunReport` values are bit-identical
+   to a clean serial run.
+2. Resume is correct after *any* prefix truncation of the journal — a
+   hypothesis property sweeping the cut point over every byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import SweepRunner, default_journal_dir, list_journals
+from repro.exec.journal import SweepJournal
+from repro.obs import capture
+from tests.exec._faultlib import deterministic_value, sleepy_point
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _points(n: int, tag: str = "resume"):
+    return [({"tag": tag}, 300 + i) for i in range(n)]
+
+
+def _clean_values(points):
+    return [deterministic_value(config, seed) for config, seed in points]
+
+
+def _runner(**kwargs) -> SweepRunner:
+    defaults = dict(
+        jobs=1, cache=False, label="resume-suite", journal=True
+    )
+    defaults.update(kwargs)
+    return SweepRunner(deterministic_value, **defaults)
+
+
+class TestJournalLifecycle:
+    def test_journal_written_and_listed(self):
+        points = _points(3)
+        report = _runner().run(points)
+        assert report.run_key is not None
+        path = default_journal_dir() / f"{report.run_key}.jsonl"
+        assert path.exists()
+        states = list_journals()
+        assert len(states) == 1
+        assert states[0].header["label"] == "resume-suite"
+        assert states[0].header["run_key"] == report.run_key
+        assert states[0].total == 3
+        assert states[0].completed == 3
+
+    def test_rerun_resumes_every_point(self):
+        points = _points(4)
+        first = _runner().run(points)
+        with capture() as registry:
+            second = _runner().run(points)
+        assert second.values() == first.values()
+        assert second.points_resumed == 4
+        assert second.points_computed == 0
+        assert registry.counter("sweep.points.resumed").value == 4
+
+    def test_resume_disabled_recomputes(self):
+        points = _points(3)
+        _runner().run(points)
+        report = _runner().run(points, resume=False)
+        assert report.points_resumed == 0
+        assert report.points_computed == 3
+        assert report.values() == _clean_values(points)
+
+    def test_run_key_is_content_addressed(self):
+        runner = _runner()
+        points = _points(3)
+        assert runner.run_key(points) == runner.run_key(points)
+        assert runner.run_key(points) != runner.run_key(_points(4))
+        assert runner.run_key(points) != runner.run_key(
+            _points(3, tag="other")
+        )
+        assert runner.run_key(points) != _runner(
+            label="something-else"
+        ).run_key(points)
+
+    def test_changed_points_do_not_false_resume(self):
+        """A different point set gets a different journal; nothing leaks
+        across run keys."""
+        _runner().run(_points(3))
+        report = _runner().run(_points(3, tag="fresh"))
+        assert report.points_resumed == 0
+        assert report.values() == _clean_values(_points(3, tag="fresh"))
+
+    def test_journal_repopulates_cleared_cache(self):
+        """Cache wiped between runs: values come back from the journal
+        and get republished, so a third run is pure cache hits."""
+        points = _points(3, tag="repop")
+        cache_root = Path(os.environ["REPRO_CACHE_DIR"])
+        first = _runner(cache=True).run(points)
+        assert first.cache_hits == 0
+        # Wipe cache payloads but keep the journal directory.
+        for child in cache_root.iterdir():
+            if child.name != "journal":
+                import shutil
+
+                shutil.rmtree(child)
+        second = _runner(cache=True).run(points)
+        assert second.points_resumed == 3
+        assert second.values() == first.values()
+        third = _runner(cache=True).run(points)
+        assert third.cache_hits == 3
+        assert third.values() == first.values()
+
+
+class TestSigkillResume:
+    def test_sigkilled_sweep_resumes_bit_identically(self):
+        """SIGKILL a journaled subprocess sweep mid-run, resume it
+        in-process, and compare against a clean serial run."""
+        n_points, seed, sleep = 6, 7000, 0.25
+        spec = {"points": n_points, "seed": seed, "sleep": sleep, "jobs": 1}
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}{os.pathsep}{REPO_ROOT}"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; import tests.exec._faultlib as f; "
+                "f.main_subprocess()",
+                json.dumps(spec),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            bufsize=1,
+        )
+        completed = 0
+        try:
+            deadline = time.monotonic() + 60
+            for line in proc.stdout:
+                if line.startswith("POINT"):
+                    completed += 1
+                    if completed >= 3:
+                        break
+                assert time.monotonic() < deadline, "subprocess too slow"
+                assert not line.startswith("DONE"), (
+                    "sweep finished before we could kill it"
+                )
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.stdout.close()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+        assert completed >= 3
+
+        points = [
+            ({"tag": "sigkill", "sleep": sleep}, seed + i)
+            for i in range(n_points)
+        ]
+        resumed = SweepRunner(
+            sleepy_point,
+            jobs=1,
+            cache=False,
+            label="sigkill-demo",
+            journal=True,
+        ).run(points)
+        # The journal survived the kill: at least the points we saw
+        # reported are replayed, and nothing is lost or duplicated.
+        assert resumed.points_resumed >= 3
+        assert resumed.points_resumed < n_points
+        assert resumed.points_completed == n_points
+        clean = [deterministic_value(config, seed_) for config, seed_ in points]
+        assert resumed.values() == clean
+
+
+class TestPrefixTruncation:
+    @pytest.fixture
+    def baseline(self):
+        points = _points(5, tag="trunc")
+        report = _runner(label="trunc-suite").run(points)
+        path = default_journal_dir() / f"{report.run_key}.jsonl"
+        raw = path.read_bytes()
+        assert raw  # the journal must exist for truncation to mean anything
+        return points, report.values(), path, raw
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_resume_correct_after_any_truncation(self, baseline, data):
+        """Chop the journal at ANY byte offset; the resumed sweep still
+        produces the clean values and completes every point."""
+        points, clean_values, path, raw = baseline
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw)))
+        path.write_bytes(raw[:cut])
+        report = _runner(label="trunc-suite").run(points)
+        assert report.values() == clean_values
+        assert report.points_completed == len(points)
+        assert report.points_resumed + report.points_computed == len(points)
+        # The journal must be whole again: a second resume replays
+        # every point even though the first resume started from a
+        # (possibly torn) prefix.
+        again = _runner(label="trunc-suite").run(points)
+        assert again.points_resumed == len(points)
+        assert again.values() == clean_values
+
+    def test_midframe_truncation_counts_corrupt(self, baseline):
+        points, clean_values, path, raw = baseline
+        # Cut inside the final frame: prefix replays, tail is torn.
+        path.write_bytes(raw[: len(raw) - 5])
+        with capture() as registry:
+            report = _runner(label="trunc-suite").run(points)
+        assert report.values() == clean_values
+        assert registry.counter("journal.corrupt").value >= 1
+        assert report.points_resumed == len(points) - 1
+        assert report.points_computed == 1
+
+    def test_bitflip_stops_replay_at_corrupt_frame(self, baseline):
+        points, clean_values, path, raw = baseline
+        flipped = bytearray(raw)
+        flipped[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(flipped))
+        with capture() as registry:
+            report = _runner(label="trunc-suite").run(points)
+        assert report.values() == clean_values
+        assert report.points_completed == len(points)
+        assert registry.counter("journal.corrupt").value >= 1
+
+    def test_unknown_format_version_replays_empty(self, baseline):
+        points, clean_values, path, raw = baseline
+        state = SweepJournal(path.stem, path.parent).replay()
+        bad_header = dict(state.header, format=999)
+        from repro.exec.journal import _frame
+
+        body = _frame(bad_header)
+        rest = raw.split(b"\n", 1)[1]
+        path.write_bytes(body + rest)
+        with capture() as registry:
+            report = _runner(label="trunc-suite").run(points)
+        assert report.values() == clean_values
+        assert report.points_resumed == 0
+        assert registry.counter("journal.corrupt").value >= 1

@@ -203,3 +203,47 @@ class TestTelemetry:
             main(["chsh", "--telemetry", "loud"])
         with pytest.raises(SystemExit):
             main(["chsh", "--telemetry", "json:"])
+
+
+class TestResume:
+    FIG3 = ["fig3", "--games", "3", "--points", "0.0", "--vertices", "4"]
+
+    def test_listing_with_no_journals(self, capsys):
+        assert main(["resume"]) == 0
+        assert "no journaled sweeps found" in capsys.readouterr().out
+
+    def test_fig3_journals_and_lists(self, capsys):
+        from repro.exec import list_journals
+
+        assert main(self.FIG3) == 0
+        capsys.readouterr()
+        states = list_journals()
+        assert len(states) == 1
+        header = states[0].header
+        assert header["label"] == "fig3"
+        assert header["meta"]["argv"][0] == "fig3"
+        assert main(["resume"]) == 0
+        out = capsys.readouterr().out
+        assert header["run_key"] in out
+        assert "complete" in out
+
+    def test_resume_by_prefix_reruns_command(self, capsys):
+        from repro.exec import list_journals
+
+        assert main(self.FIG3) == 0
+        capsys.readouterr()
+        run_key = list_journals()[0].header["run_key"]
+        assert main(["resume", run_key[:6]]) == 0
+        out = capsys.readouterr().out
+        assert f"resuming [fig3] {run_key}" in out
+        assert "P(quantum advantage)" in out
+
+    def test_unknown_run_key_exits(self, capsys):
+        with pytest.raises(SystemExit, match="no journaled sweep matches"):
+            main(["resume", "deadbeef"])
+
+    def test_no_journal_flag_suppresses_journal(self, capsys):
+        from repro.exec import list_journals
+
+        assert main([*self.FIG3, "--no-journal"]) == 0
+        assert list_journals() == []
